@@ -1,0 +1,200 @@
+// Command emmatch matches entities between two CSV relations (or scores a
+// pre-blocked pair file) with any matcher from the study — the deployable
+// face of the reproduction: bring your own data, no labels required.
+//
+// Usage:
+//
+//	emmatch -left a.csv -right b.csv [-matcher gpt-4o-mini] [-out pairs.csv]
+//	emmatch -pairs candidates.csv   [-matcher anymatch-llama]
+//
+// Relation files: header row (optionally starting with an "id" column),
+// one record per row. Pair files: left_*/right_* columns, optional 0/1
+// "label" column — when labels are present, precision/recall/F1 are
+// reported.
+//
+// Matchers: stringsim, zeroer, ditto, unicorn, anymatch-gpt2, anymatch-t5,
+// anymatch-llama, jellyfish, mixtral, solar, beluga2, gpt-3.5-turbo,
+// gpt-4o-mini, gpt-4 (default). Fine-tuned matchers train on the benchmark
+// transfer datasets first (≈minutes); prompted matchers run immediately.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/blocking"
+	"repro/internal/csvio"
+	"repro/internal/datasets"
+	"repro/internal/eval"
+	"repro/internal/lm"
+	"repro/internal/matchers"
+	"repro/internal/record"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		leftPath    = flag.String("left", "", "left relation CSV")
+		rightPath   = flag.String("right", "", "right relation CSV")
+		pairsPath   = flag.String("pairs", "", "pre-blocked pair CSV (alternative to -left/-right)")
+		outPath     = flag.String("out", "", "write matched pairs to this CSV (default: stdout summary only)")
+		matcherName = flag.String("matcher", "gpt-4", "matcher to use")
+		maxCands    = flag.Int("candidates", 10, "blocking: max candidates per left record")
+		seed        = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if err := run(*leftPath, *rightPath, *pairsPath, *outPath, *matcherName, *maxCands, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "emmatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(leftPath, rightPath, pairsPath, outPath, matcherName string, maxCands int, seed uint64) error {
+	m, needsTraining, err := buildMatcher(matcherName)
+	if err != nil {
+		return err
+	}
+
+	// Assemble the candidate pairs.
+	var pairs []record.LabeledPair
+	var schema record.Schema
+	hasLabels := false
+	switch {
+	case pairsPath != "":
+		f, err := os.Open(pairsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		pairs, schema, hasLabels, err = csvio.ReadPairs(f)
+		if err != nil {
+			return err
+		}
+	case leftPath != "" && rightPath != "":
+		left, leftSchema, err := readRelationFile(leftPath)
+		if err != nil {
+			return err
+		}
+		right, _, err := readRelationFile(rightPath)
+		if err != nil {
+			return err
+		}
+		schema = leftSchema
+		blocker := blocking.New(blocking.Config{MaxCandidatesPerRecord: maxCands})
+		for _, p := range blocker.CandidatePairs(left, right) {
+			pairs = append(pairs, record.LabeledPair{Pair: p})
+		}
+		fmt.Fprintf(os.Stderr, "blocking: %d candidate pairs from %d x %d records\n",
+			len(pairs), len(left), len(right))
+	default:
+		return fmt.Errorf("need either -pairs or both -left and -right")
+	}
+	if len(pairs) == 0 {
+		return fmt.Errorf("no candidate pairs to match")
+	}
+
+	// Train if the matcher needs transfer data (the benchmark datasets
+	// serve as the built-in transfer library).
+	rng := stats.NewRNG(seed)
+	if needsTraining {
+		fmt.Fprintf(os.Stderr, "training %s on the built-in transfer library...\n", m.Name())
+		start := time.Now()
+		m.Train(datasets.GenerateAll(eval.DatasetSeed), rng.Split("train"))
+		fmt.Fprintf(os.Stderr, "trained in %.1fs\n", time.Since(start).Seconds())
+	} else {
+		m.Train(nil, rng.Split("train"))
+	}
+
+	// Match.
+	task := matchers.Task{Pairs: make([]record.Pair, len(pairs)), Schema: schema}
+	for i, p := range pairs {
+		task.Pairs[i] = p.Pair
+	}
+	start := time.Now()
+	preds := m.Predict(task)
+	elapsed := time.Since(start)
+
+	// Report.
+	matched := 0
+	var out []record.LabeledPair
+	for i, pred := range preds {
+		if pred {
+			matched++
+			out = append(out, record.LabeledPair{Pair: pairs[i].Pair, Match: true})
+		}
+	}
+	fmt.Printf("%s matched %d of %d candidate pairs in %s\n",
+		m.Name(), matched, len(pairs), elapsed.Round(time.Millisecond))
+
+	if hasLabels {
+		var c eval.Confusion
+		for i, pred := range preds {
+			c.Observe(pred, pairs[i].Match)
+		}
+		fmt.Printf("against labels: precision %.1f%%, recall %.1f%%, F1 %.1f\n",
+			100*c.Precision(), 100*c.Recall(), c.F1())
+	}
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := csvio.WritePairs(f, out, schema); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d matches to %s\n", len(out), outPath)
+	}
+	return nil
+}
+
+func readRelationFile(path string) ([]record.Record, record.Schema, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, record.Schema{}, err
+	}
+	defer f.Close()
+	return csvio.ReadRelation(f)
+}
+
+// buildMatcher resolves a matcher name; needsTraining reports whether it
+// must be fine-tuned on transfer data first.
+func buildMatcher(name string) (matchers.Matcher, bool, error) {
+	switch strings.ToLower(name) {
+	case "stringsim":
+		return matchers.NewStringSim(), false, nil
+	case "zeroer":
+		return matchers.NewZeroER(), false, nil
+	case "ditto":
+		return matchers.NewDitto(), true, nil
+	case "unicorn":
+		return matchers.NewUnicorn(), true, nil
+	case "anymatch-gpt2":
+		return matchers.NewAnyMatchGPT2(), true, nil
+	case "anymatch-t5":
+		return matchers.NewAnyMatchT5(), true, nil
+	case "anymatch-llama":
+		return matchers.NewAnyMatchLLaMA(), true, nil
+	case "jellyfish":
+		return matchers.NewJellyfish(), false, nil
+	case "mixtral":
+		return matchers.NewMatchGPT(lm.Mixtral8x7B), false, nil
+	case "solar":
+		return matchers.NewMatchGPT(lm.SOLAR), false, nil
+	case "beluga2":
+		return matchers.NewMatchGPT(lm.Beluga2), false, nil
+	case "gpt-3.5-turbo":
+		return matchers.NewMatchGPT(lm.GPT35Turbo), false, nil
+	case "gpt-4o-mini":
+		return matchers.NewMatchGPT(lm.GPT4oMini), false, nil
+	case "gpt-4":
+		return matchers.NewMatchGPT(lm.GPT4), false, nil
+	default:
+		return nil, false, fmt.Errorf("unknown matcher %q", name)
+	}
+}

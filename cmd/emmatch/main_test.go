@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildMatcherKnownNames(t *testing.T) {
+	cases := []struct {
+		name     string
+		training bool
+	}{
+		{"stringsim", false},
+		{"zeroer", false},
+		{"ditto", true},
+		{"unicorn", true},
+		{"anymatch-gpt2", true},
+		{"anymatch-t5", true},
+		{"anymatch-llama", true},
+		{"jellyfish", false},
+		{"mixtral", false},
+		{"solar", false},
+		{"beluga2", false},
+		{"gpt-3.5-turbo", false},
+		{"gpt-4o-mini", false},
+		{"gpt-4", false},
+	}
+	for _, c := range cases {
+		m, needsTraining, err := buildMatcher(c.name)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if m == nil || m.Name() == "" {
+			t.Errorf("%s: unusable matcher", c.name)
+		}
+		if needsTraining != c.training {
+			t.Errorf("%s: needsTraining=%v, want %v", c.name, needsTraining, c.training)
+		}
+	}
+	// Case-insensitive resolution.
+	if _, _, err := buildMatcher("GPT-4"); err != nil {
+		t.Error("matcher names should be case-insensitive")
+	}
+	if _, _, err := buildMatcher("nope"); err == nil {
+		t.Error("unknown matcher should error")
+	}
+}
+
+func TestRunOnPairFile(t *testing.T) {
+	dir := t.TempDir()
+	pairPath := filepath.Join(dir, "pairs.csv")
+	csv := strings.Join([]string{
+		"left_name,left_price,right_name,right_price,label",
+		"golden dragon cafe,12,GOLDEN dragon cafe,12.00,1",
+		"golden dragon cafe,12,blue bistro downtown,44,0",
+		"iron horse tavern,30,iron horse tavern,30,1",
+	}, "\n")
+	if err := os.WriteFile(pairPath, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.csv")
+	if err := run("", "", pairPath, outPath, "gpt-4", 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "golden") {
+		t.Fatalf("output file content:\n%s", out)
+	}
+}
+
+func TestRunOnRelations(t *testing.T) {
+	dir := t.TempDir()
+	left := filepath.Join(dir, "left.csv")
+	right := filepath.Join(dir, "right.csv")
+	os.WriteFile(left, []byte("id,name,city\na1,golden dragon palace,berlin\na2,iron horse tavern,paris\n"), 0o644)
+	os.WriteFile(right, []byte("id,name,city\nb1,GOLDEN dragon palace,berlin\nb2,blue bistro,rome\n"), 0o644)
+	if err := run(left, right, "", "", "stringsim", 5, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRequiresInput(t *testing.T) {
+	if err := run("", "", "", "", "gpt-4", 5, 1); err == nil {
+		t.Fatal("missing inputs should error")
+	}
+}
+
+func TestRunUnknownMatcher(t *testing.T) {
+	if err := run("", "", "whatever.csv", "", "nope", 5, 1); err == nil {
+		t.Fatal("unknown matcher should error before touching files")
+	}
+}

@@ -1,0 +1,269 @@
+// Command emstudy regenerates the tables and figures of "A Deep Dive Into
+// Cross-Dataset Entity Matching with Large and Small Language Models"
+// (EDBT 2025) on the synthetic reproduction benchmark.
+//
+// Usage:
+//
+//	emstudy table1               dataset statistics
+//	emstudy table3 [-seeds N]    cross-dataset F1 of the 14 matchers
+//	emstudy table4 [-seeds N]    demonstration strategies for prompted LLMs
+//	emstudy table5               throughput simulation (4xA100)
+//	emstudy table6               cost per 1K tokens
+//	emstudy figure3 [-seeds N]   cost vs quality scatter
+//	emstudy figure4 [-seeds N]   model size vs quality scatter
+//	emstudy findings [-seeds N]  Finding 5 t-test and Finding 6 correlation
+//	emstudy verify               dataset disjointness check (§5.1)
+//	emstudy all [-seeds N]       everything above
+//
+// Table 3/4 runs fine-tune matchers live; with the paper's five seeds a
+// full table takes tens of minutes on a laptop. Use -seeds 1 for a quick
+// look.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"path/filepath"
+	"strings"
+
+	"repro/internal/ablation"
+	"repro/internal/core"
+	"repro/internal/csvio"
+	"repro/internal/datasets"
+	"repro/internal/cost"
+	"repro/internal/eval"
+	"repro/internal/lm"
+	"repro/internal/record"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	nSeeds := fs.Int("seeds", 5, "number of repetition seeds (the paper uses 5)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	seeds := eval.DefaultSeeds
+	if *nSeeds < len(seeds) && *nSeeds > 0 {
+		seeds = seeds[:*nSeeds]
+	}
+
+	if err := run(cmd, seeds, fs.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "emstudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd string, seeds []uint64, arg string) error {
+	switch cmd {
+	case "table1":
+		fmt.Println(core.Table1())
+	case "table5":
+		fmt.Println(core.Table5())
+	case "table6":
+		t, err := core.Table6()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	case "verify":
+		return verify()
+	case "export":
+		return export(arg)
+	case "ablation":
+		return runAblations(seeds)
+	case "budget":
+		h := core.NewHarness(seeds[:1])
+		sets := make(map[string][]record.Pair)
+		for _, d := range h.Datasets() {
+			var pairs []record.Pair
+			for _, j := range h.TestIndices(d.Name) {
+				pairs = append(pairs, d.Pairs[j].Pair)
+			}
+			sets[d.Name] = pairs
+		}
+		// 5 seeds × 3 prompting variants per commercial model (Tables 3+4).
+		budget, err := cost.EstimateStudyBudget(sets, 15, cost.FourA100)
+		if err != nil {
+			return err
+		}
+		fmt.Println(cost.RenderBudget(budget))
+	case "errors":
+		target := arg
+		if target == "" {
+			target = "AMGO"
+		}
+		h := core.NewHarness(seeds[:1])
+		report, err := core.AnalyzeErrors(h, lm.GPT4, target, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Render())
+	case "cascade":
+		h := core.NewHarness(seeds[:1])
+		results, err := core.RunCascadeStudy(h, []string{"ABT", "DBAC", "FOZA", "AMGO", "WAAM"})
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.RenderCascade(results))
+	case "rag":
+		q, err := runQuality(core.Table4RAGSpecs(), seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.QualityTable("Extension: retrieval-augmented demonstrations vs prompting without demonstrations.", q).Render())
+	case "table3", "figure3", "figure4", "findings":
+		q, err := runTable3(seeds)
+		if err != nil {
+			return err
+		}
+		return renderFromTable3(cmd, q)
+	case "table4":
+		q, err := runQuality(core.Table4Specs(), seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.QualityTable("Table 4: Average F1 scores for cross-dataset EM with different demonstration strategies.", q).Render())
+	case "all":
+		fmt.Println(core.Table1())
+		if err := verify(); err != nil {
+			return err
+		}
+		q3, err := runTable3(seeds)
+		if err != nil {
+			return err
+		}
+		for _, sub := range []string{"table3", "figure3", "figure4", "findings"} {
+			if err := renderFromTable3(sub, q3); err != nil {
+				return err
+			}
+		}
+		q4, err := runQuality(core.Table4Specs(), seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.QualityTable("Table 4: Average F1 scores for cross-dataset EM with different demonstration strategies.", q4).Render())
+		fmt.Println(core.Table5())
+		t6, err := core.Table6()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t6)
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+func runTable3(seeds []uint64) (*core.QualityResults, error) {
+	return runQuality(core.Table3Specs(), seeds)
+}
+
+func runQuality(specs []core.MatcherSpec, seeds []uint64) (*core.QualityResults, error) {
+	h := core.NewHarness(seeds)
+	start := time.Now()
+	q, err := core.RunQuality(h, specs, func(label string) {
+		fmt.Fprintf(os.Stderr, "  [%6.1fs] %s done\n", time.Since(start).Seconds(), label)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func renderFromTable3(cmd string, q *core.QualityResults) error {
+	switch cmd {
+	case "table3":
+		fmt.Println(core.QualityTable("Table 3: Average F1 scores and standard deviations for cross-dataset entity matching\n(*best*, _second best_, (seen during training)).", q).Render())
+	case "figure3":
+		f, err := core.Figure3(q)
+		if err != nil {
+			return err
+		}
+		fmt.Println(f)
+	case "figure4":
+		fmt.Println(core.Figure4(q))
+	case "findings":
+		f5, err := core.Finding5(q)
+		if err != nil {
+			return err
+		}
+		f6 := core.Finding6(q)
+		fmt.Println(core.RenderFindings(f5, f6))
+	}
+	return nil
+}
+
+// export writes the 11 benchmark datasets as pair CSVs into dir (default
+// "data"), so they can be inspected or fed to emmatch.
+func export(dir string) error {
+	if dir == "" {
+		dir = "data"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, d := range datasets.GenerateAll(eval.DatasetSeed) {
+		path := filepath.Join(dir, strings.ToLower(d.Name)+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := csvio.WriteDataset(f, d); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d pairs)\n", path, len(d.Pairs))
+	}
+	return nil
+}
+
+// runAblations executes the three design-choice ablation studies on a
+// reduced protocol (the DESIGN.md ablation index).
+func runAblations(seeds []uint64) error {
+	if len(seeds) > 2 {
+		seeds = seeds[:2] // ablations are about deltas; two seeds suffice
+	}
+	h := core.NewHarness(seeds)
+	studies := []func(*eval.Harness, []string) (*ablation.Study, error){
+		ablation.PromptEngine,
+		ablation.AnyMatchPipeline,
+		ablation.EncoderCapacity,
+	}
+	for _, build := range studies {
+		s, err := build(h, ablation.DefaultTargets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(s.Render())
+	}
+	return nil
+}
+
+func verify() error {
+	ds := datasets.GenerateAll(eval.DatasetSeed)
+	overlaps := datasets.VerifyDisjoint(ds)
+	if len(overlaps) > 0 {
+		for _, o := range overlaps {
+			fmt.Println("OVERLAP:", o)
+		}
+		return fmt.Errorf("%d tuple overlaps between datasets", len(overlaps))
+	}
+	fmt.Println("Dataset disjointness check: zero tuple overlap between every pair of datasets (11 datasets).")
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: emstudy <table1|table3|table4|table5|table6|figure3|figure4|findings|ablation|rag|cascade|errors|budget|verify|export|all> [-seeds N] [dir]`)
+}

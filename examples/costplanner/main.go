@@ -1,0 +1,91 @@
+// Costplanner reproduces the practitioner recommendation of §5: given a
+// workload size and a quality bar, pick the cheapest matcher deployment.
+// It combines the study's cost model (Table 6) with quality estimates and
+// prints the monthly bill for each viable option — the quality/cost
+// trade-off of Figure 3 turned into a decision procedure.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/cost"
+)
+
+// qualityEstimate holds the macro-mean cross-dataset F1 measured by this
+// reproduction's Table 3 run (regenerate with `emstudy table3`).
+var qualityEstimate = map[string]float64{
+	"MatchGPT [GPT-4]":         87.7,
+	"MatchGPT [GPT-4o-Mini]":   86.8,
+	"MatchGPT [Beluga2]":       79.5,
+	"MatchGPT [SOLAR]":         75.9,
+	"MatchGPT [Mixtral-8x7B]":  74.7,
+	"MatchGPT [GPT-3.5-Turbo]": 64.1,
+	"AnyMatch [LLaMA3.2]":      86.5,
+	"AnyMatch [GPT-2]":         80.9,
+	"AnyMatch [T5]":            78.6,
+	"Unicorn [DeBERTa]":        81.2,
+	"Ditto [BERT]":             73.6,
+}
+
+func main() {
+	const (
+		// Workload: a data lake dedup sweep — candidate pairs per month
+		// and tokens per pair (serialized product records average ~60
+		// tokens per record, ~130 per pair prompt).
+		pairsPerMonth = 500_000_000
+		tokensPerPair = 130
+		qualityBar    = 80.0
+	)
+	totalTokens := float64(pairsPerMonth) * tokensPerPair
+
+	rows, err := cost.Table6()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type option struct {
+		method  string
+		f1      float64
+		costPer float64
+		monthly float64
+	}
+	var viable, rejected []option
+	for _, r := range rows {
+		f1, ok := qualityEstimate[r.Method]
+		if !ok {
+			continue // Jellyfish: quality not comparable (seen data)
+		}
+		o := option{method: r.Method, f1: f1, costPer: r.CostPer1K,
+			monthly: totalTokens / 1000 * r.CostPer1K}
+		if f1 >= qualityBar {
+			viable = append(viable, o)
+		} else {
+			rejected = append(rejected, o)
+		}
+	}
+	sort.Slice(viable, func(i, j int) bool { return viable[i].monthly < viable[j].monthly })
+
+	fmt.Printf("Workload: %.0fM candidate pairs/month (%.1fB tokens), quality bar F1 >= %.0f\n\n",
+		float64(pairsPerMonth)/1e6, totalTokens/1e9, qualityBar)
+	fmt.Println("Viable options (cheapest first):")
+	for i, o := range viable {
+		marker := "  "
+		if i == 0 {
+			marker = "->"
+		}
+		fmt.Printf(" %s %-26s F1 %.1f   $%.7f/1K tok   $%11.2f/month\n",
+			marker, o.method, o.f1, o.costPer, o.monthly)
+	}
+	fmt.Println("\nRejected (below the quality bar):")
+	for _, o := range rejected {
+		fmt.Printf("    %-26s F1 %.1f   $%11.2f/month\n", o.method, o.f1, o.monthly)
+	}
+	if len(viable) > 0 {
+		best := viable[0]
+		worst := viable[len(viable)-1]
+		fmt.Printf("\nRecommendation: %s — %.0fx cheaper than the most expensive viable option (%s).\n",
+			best.method, worst.monthly/best.monthly, worst.method)
+	}
+}

@@ -1,0 +1,58 @@
+package crossem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeRAGFactory(t *testing.T) {
+	m := MatchGPTRAG(ModelGPT4oMini)()
+	if !strings.Contains(m.Name(), "RAG") {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}
+
+func TestFacadeCascadeFactory(t *testing.T) {
+	m := CascadeOver(MatchGPT(ModelGPT4))()
+	if !strings.Contains(m.Name(), "Cascade") {
+		t.Fatalf("Name = %q", m.Name())
+	}
+	// Cascade factories must be usable with the harness like any matcher.
+	h := NewHarness([]uint64{1})
+	res, err := h.EvaluateTarget(CascadeOver(MatchGPT(ModelGPT4)), "ZOYE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean() <= 50 {
+		t.Fatalf("cascade F1 %.1f implausibly low on ZOYE", res.Mean())
+	}
+}
+
+func TestFacadeEdgesFromPredictions(t *testing.T) {
+	pairs := []Pair{
+		{Left: Record{ID: "a"}, Right: Record{ID: "b"}},
+	}
+	edges := EdgesFromPredictions(pairs, []bool{true}, []float64{0.7})
+	if len(edges) != 1 || edges[0].Score != 0.7 {
+		t.Fatalf("edges = %+v", edges)
+	}
+}
+
+func TestFacadeModelProfilesDistinct(t *testing.T) {
+	models := []ModelProfile{
+		ModelBERT, ModelGPT2, ModelDeBERTa, ModelT5, ModelLLaMA32,
+		ModelJellyfish, ModelMixtral, ModelSOLAR, ModelBeluga2,
+		ModelGPT35, ModelGPT4oMini, ModelGPT4,
+	}
+	seen := make(map[string]bool)
+	for _, m := range models {
+		if m.Name == "" || seen[m.Name] {
+			t.Fatalf("profile name issue: %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	// The facade exposes exactly the paper's model set.
+	if len(models) != 12 {
+		t.Fatalf("%d models", len(models))
+	}
+}

@@ -1,0 +1,93 @@
+package blocking
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/record"
+)
+
+func TestBlockingRecallOnBenchmark(t *testing.T) {
+	d := datasets.MustGenerate("FOZA", 42)
+	var left, right []record.Record
+	truth := make(map[[2]string]bool)
+	for _, p := range d.Pairs {
+		left = append(left, p.Left)
+		right = append(right, p.Right)
+		if p.Match {
+			truth[[2]string{p.Left.ID, p.Right.ID}] = true
+		}
+	}
+	b := New(DefaultConfig())
+	candidates := b.CandidatePairs(left, right)
+	if len(candidates) == 0 {
+		t.Fatal("no candidates produced")
+	}
+	if len(candidates) >= len(left)*len(right) {
+		t.Fatal("blocking did not reduce the cross product")
+	}
+	if rec := Recall(candidates, truth); rec < 0.9 {
+		t.Fatalf("blocking recall %.3f below 0.9", rec)
+	}
+}
+
+func TestBlockingCandidateCap(t *testing.T) {
+	d := datasets.MustGenerate("BEER", 42)
+	var left, right []record.Record
+	for _, p := range d.Pairs {
+		left = append(left, p.Left)
+		right = append(right, p.Right)
+	}
+	cap := 3
+	b := New(Config{MaxCandidatesPerRecord: cap, MinSharedWeight: 1})
+	candidates := b.CandidatePairs(left, right)
+	perLeft := make(map[string]int)
+	for _, p := range candidates {
+		perLeft[p.Left.ID]++
+	}
+	for id, n := range perLeft {
+		if n > cap {
+			t.Fatalf("record %s has %d candidates, cap %d", id, n, cap)
+		}
+	}
+}
+
+func TestBlockingDeterministic(t *testing.T) {
+	d := datasets.MustGenerate("ZOYE", 42)
+	var left, right []record.Record
+	for i, p := range d.Pairs {
+		if i >= 100 {
+			break
+		}
+		left = append(left, p.Left)
+		right = append(right, p.Right)
+	}
+	b := New(DefaultConfig())
+	c1 := b.CandidatePairs(left, right)
+	c2 := b.CandidatePairs(left, right)
+	if len(c1) != len(c2) {
+		t.Fatal("blocking not deterministic")
+	}
+	for i := range c1 {
+		if c1[i].Left.ID != c2[i].Left.ID || c1[i].Right.ID != c2[i].Right.ID {
+			t.Fatal("blocking order not deterministic")
+		}
+	}
+}
+
+func TestBlockingEmptyRelations(t *testing.T) {
+	b := New(DefaultConfig())
+	if got := b.CandidatePairs(nil, nil); len(got) != 0 {
+		t.Fatal("empty relations should yield no candidates")
+	}
+}
+
+func TestRecallEdgeCases(t *testing.T) {
+	if Recall(nil, nil) != 1 {
+		t.Fatal("no truth means perfect recall")
+	}
+	truth := map[[2]string]bool{{"a", "b"}: true}
+	if Recall(nil, truth) != 0 {
+		t.Fatal("no candidates means zero recall")
+	}
+}

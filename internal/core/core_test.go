@@ -1,0 +1,213 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+func TestTable3SpecsRoster(t *testing.T) {
+	specs := Table3Specs()
+	if len(specs) != 14 {
+		t.Fatalf("Table 3 has %d rows, want 14 (the paper evaluates 14 matchers)", len(specs))
+	}
+	wantOrder := []string{
+		"StringSim", "ZeroER", "Ditto", "Unicorn",
+		"AnyMatch [GPT-2]", "AnyMatch [T5]", "AnyMatch [LLaMA3.2]",
+		"Jellyfish", "MatchGPT [Mixtral-8x7B]", "MatchGPT [SOLAR]",
+		"MatchGPT [Beluga2]", "MatchGPT [GPT-4o-Mini]",
+		"MatchGPT [GPT-3.5-Turbo]", "MatchGPT [GPT-4]",
+	}
+	for i, s := range specs {
+		if s.Label != wantOrder[i] {
+			t.Errorf("row %d: %q, want %q", i, s.Label, wantOrder[i])
+		}
+		if s.Factory == nil || s.Bracketed == nil {
+			t.Errorf("%s: missing factory or bracket predicate", s.Label)
+		}
+	}
+	// Only Jellyfish brackets anything, and exactly the six seen datasets.
+	for _, s := range specs {
+		n := 0
+		for _, d := range DatasetNames() {
+			if s.Bracketed(d) {
+				n++
+			}
+		}
+		switch s.Label {
+		case "Jellyfish":
+			if n != 6 {
+				t.Errorf("Jellyfish brackets %d datasets, want 6", n)
+			}
+		default:
+			if n != 0 {
+				t.Errorf("%s brackets %d datasets, want 0", s.Label, n)
+			}
+		}
+	}
+}
+
+func TestTable4SpecsRoster(t *testing.T) {
+	specs := Table4Specs()
+	if len(specs) != 9 {
+		t.Fatalf("Table 4 has %d rows, want 9 (3 models × 3 strategies)", len(specs))
+	}
+	for _, want := range []string{"GPT-4o-Mini / none", "GPT-3.5-Turbo / hand-picked", "GPT-4 / random-selected"} {
+		found := false
+		for _, s := range specs {
+			if s.Label == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing Table 4 row %q", want)
+		}
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"ABT", "WAAM", "1028", "9280", "restaurant"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestTable5And6Render(t *testing.T) {
+	t5 := Table5()
+	for _, want := range []string{"BERT", "SOLAR", "Ditto", "MatchGPT", "8192"} {
+		if !strings.Contains(t5, want) {
+			t.Errorf("Table 5 missing %q", want)
+		}
+	}
+	t6, err := Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MatchGPT [GPT-4]", "Ditto [BERT]", "OpenAI Batch API", "Together.ai"} {
+		if !strings.Contains(t6, want) {
+			t.Errorf("Table 6 missing %q", want)
+		}
+	}
+}
+
+// quickQuality runs a tiny two-matcher quality experiment for the
+// table/figure/finding plumbing tests.
+func quickQuality(t *testing.T) *QualityResults {
+	t.Helper()
+	h := eval.NewHarness(eval.Config{Seeds: []uint64{1, 2}, MaxTest: 120})
+	specs := []MatcherSpec{
+		Table3Specs()[0],  // StringSim
+		Table3Specs()[12], // MatchGPT [GPT-3.5-Turbo] (Finding 5 normaliser)
+		Table3Specs()[13], // MatchGPT [GPT-4]
+	}
+	q, err := RunQuality(h, specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestRunQualityShape(t *testing.T) {
+	q := quickQuality(t)
+	if len(q.Results) != 3 {
+		t.Fatalf("results for %d specs", len(q.Results))
+	}
+	for i := range q.Results {
+		if len(q.Results[i]) != 11 {
+			t.Fatalf("spec %d evaluated on %d datasets", i, len(q.Results[i]))
+		}
+		for _, r := range q.Results[i] {
+			if len(r.F1s) != 2 {
+				t.Fatalf("expected 2 seeds, got %d", len(r.F1s))
+			}
+		}
+	}
+	mean, _ := q.MacroMean(2)
+	if mean <= 0 || mean > 100 {
+		t.Fatalf("macro mean %v out of range", mean)
+	}
+}
+
+func TestQualityTableAssembly(t *testing.T) {
+	q := quickQuality(t)
+	tab := QualityTable("T", q)
+	if len(tab.Columns) != 12 { // 11 datasets + Mean
+		t.Fatalf("columns = %d", len(tab.Columns))
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "StringSim") || !strings.Contains(out, "MatchGPT [GPT-4]") {
+		t.Fatalf("render missing rows:\n%s", out)
+	}
+}
+
+func TestFigures(t *testing.T) {
+	q := quickQuality(t)
+	f3, err := Figure3(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f3, "GPT-4") || !strings.Contains(f3, "cost per 1K tokens") {
+		t.Fatalf("Figure 3 content:\n%s", f3)
+	}
+	f4 := Figure4(q)
+	if !strings.Contains(f4, "model size") {
+		t.Fatalf("Figure 4 content:\n%s", f4)
+	}
+}
+
+func TestFindingsPlumbing(t *testing.T) {
+	q := quickQuality(t)
+	f5, err := Finding5(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f5.SharedCount == 0 || f5.NonSharedCount == 0 {
+		t.Fatalf("t-test groups empty: %+v", f5)
+	}
+	if f5.Test.P < 0 || f5.Test.P > 1 {
+		t.Fatalf("p-value %v out of range", f5.Test.P)
+	}
+	f6 := Finding6(q)
+	if len(f6.PerMatcher) == 0 {
+		t.Fatal("no Spearman correlations computed")
+	}
+	for label, rho := range f6.PerMatcher {
+		if rho < -1 || rho > 1 {
+			t.Fatalf("%s: rho %v out of range", label, rho)
+		}
+	}
+	out := RenderFindings(f5, f6)
+	if !strings.Contains(out, "Finding 5") || !strings.Contains(out, "Finding 6") {
+		t.Fatalf("findings render:\n%s", out)
+	}
+}
+
+func TestFinding5RequiresNormaliser(t *testing.T) {
+	h := eval.NewHarness(eval.Config{Seeds: []uint64{1}, MaxTest: 60})
+	q, err := RunQuality(h, []MatcherSpec{Table3Specs()[0]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Finding5(q); err == nil {
+		t.Fatal("Finding 5 without GPT-3.5 row should error")
+	}
+}
+
+func TestModelNameForSpecCoversTable3(t *testing.T) {
+	for _, s := range Table3Specs() {
+		name := modelNameForSpec(s.Label)
+		switch s.Label {
+		case "StringSim", "ZeroER", "Jellyfish":
+			if name != "" {
+				t.Errorf("%s should have no cost-model mapping", s.Label)
+			}
+		default:
+			if name == "" {
+				t.Errorf("%s missing cost-model mapping", s.Label)
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/lm"
+	"repro/internal/record"
+	"repro/internal/stats"
+)
+
+// ErrorCase is one misclassified pair with the zero-shot evidence
+// breakdown that explains the failure.
+type ErrorCase struct {
+	Pair     record.Pair
+	Actual   bool
+	Score    float64
+	Evidence lm.Evidence
+}
+
+// ErrorReport holds the error analysis of a prompted matcher on one
+// dataset: the confusion totals plus the highest-confidence mistakes in
+// both directions.
+type ErrorReport struct {
+	Matcher        string
+	Target         string
+	Confusion      eval.Confusion
+	FalsePositives []ErrorCase // negatives the model scored highest
+	FalseNegatives []ErrorCase // positives the model scored lowest
+}
+
+// AnalyzeErrors runs a prompted model on a target dataset's test partition
+// and explains its worst mistakes via the evidence breakdown. Limit bounds
+// the cases kept per direction.
+func AnalyzeErrors(h *eval.Harness, profile lm.Profile, target string, limit int) (*ErrorReport, error) {
+	d := h.Dataset(target)
+	if d == nil {
+		return nil, fmt.Errorf("core: unknown target dataset %q", target)
+	}
+	if limit <= 0 {
+		limit = 5
+	}
+	model := lm.NewPromptModel(profile, stats.NewRNG(1))
+	testIdx := h.TestIndices(target)
+	pairs := make([]record.Pair, len(testIdx))
+	labels := make([]bool, len(testIdx))
+	for i, j := range testIdx {
+		pairs[i] = d.Pairs[j].Pair
+		labels[i] = d.Pairs[j].Match
+		model.ObserveCorpus(record.SerializeRecord(pairs[i].Left, record.SerializeOptions{}))
+		model.ObserveCorpus(record.SerializeRecord(pairs[i].Right, record.SerializeOptions{}))
+	}
+	preds := model.MatchBatch(pairs, record.SerializeOptions{})
+	scores := model.RawScores(pairs)
+
+	report := &ErrorReport{Matcher: "MatchGPT [" + profile.Name + "]", Target: target}
+	for i := range preds {
+		report.Confusion.Observe(preds[i], labels[i])
+		if preds[i] == labels[i] {
+			continue
+		}
+		c := ErrorCase{Pair: pairs[i], Actual: labels[i], Score: scores[i], Evidence: model.Evidence(pairs[i])}
+		if preds[i] && !labels[i] {
+			report.FalsePositives = append(report.FalsePositives, c)
+		} else {
+			report.FalseNegatives = append(report.FalseNegatives, c)
+		}
+	}
+	sort.Slice(report.FalsePositives, func(a, b int) bool {
+		return report.FalsePositives[a].Score > report.FalsePositives[b].Score
+	})
+	sort.Slice(report.FalseNegatives, func(a, b int) bool {
+		return report.FalseNegatives[a].Score < report.FalseNegatives[b].Score
+	})
+	if len(report.FalsePositives) > limit {
+		report.FalsePositives = report.FalsePositives[:limit]
+	}
+	if len(report.FalseNegatives) > limit {
+		report.FalseNegatives = report.FalseNegatives[:limit]
+	}
+	return report, nil
+}
+
+// Render formats the error report for the terminal.
+func (r *ErrorReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Error analysis: %s on %s\n", r.Matcher, r.Target)
+	fmt.Fprintf(&b, "TP %d  FP %d  TN %d  FN %d  (precision %.2f, recall %.2f, F1 %.1f)\n\n",
+		r.Confusion.TP, r.Confusion.FP, r.Confusion.TN, r.Confusion.FN,
+		r.Confusion.Precision(), r.Confusion.Recall(), r.Confusion.F1())
+
+	render := func(title string, cases []ErrorCase) {
+		fmt.Fprintf(&b, "%s (%d shown):\n", title, len(cases))
+		for _, c := range cases {
+			fmt.Fprintf(&b, "  score %.3f  conflict %.2f  id %.0f  minshort %.2f  year %.0f  version %.0f\n",
+				c.Score, c.Evidence.Conflict, c.Evidence.IdentifierMatch,
+				c.Evidence.MinShortSim, c.Evidence.YearConflict, c.Evidence.VersionConflict)
+			fmt.Fprintf(&b, "    L: %s\n", record.SerializeRecord(c.Pair.Left, record.SerializeOptions{}))
+			fmt.Fprintf(&b, "    R: %s\n", record.SerializeRecord(c.Pair.Right, record.SerializeOptions{}))
+		}
+		b.WriteString("\n")
+	}
+	render("False positives — non-matches the model accepted", r.FalsePositives)
+	render("False negatives — matches the model rejected", r.FalseNegatives)
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/lm"
+)
+
+func TestAnalyzeErrors(t *testing.T) {
+	h := eval.NewHarness(eval.Config{Seeds: []uint64{1}, MaxTest: 250})
+	report, err := AnalyzeErrors(h, lm.GPT4, "ITAM", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Target != "ITAM" || !strings.Contains(report.Matcher, "GPT-4") {
+		t.Fatalf("metadata: %+v", report)
+	}
+	total := report.Confusion.TP + report.Confusion.FP + report.Confusion.TN + report.Confusion.FN
+	if total != len(h.TestIndices("ITAM")) {
+		t.Fatalf("confusion covers %d pairs, want %d", total, len(h.TestIndices("ITAM")))
+	}
+	if len(report.FalsePositives) > 3 || len(report.FalseNegatives) > 3 {
+		t.Fatal("limit not applied")
+	}
+	// FPs must be sorted by descending confidence.
+	for i := 1; i < len(report.FalsePositives); i++ {
+		if report.FalsePositives[i].Score > report.FalsePositives[i-1].Score {
+			t.Fatal("false positives not sorted by confidence")
+		}
+	}
+	out := report.Render()
+	for _, want := range []string{"Error analysis", "False positives", "False negatives", "precision"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestAnalyzeErrorsUnknownTarget(t *testing.T) {
+	h := eval.NewHarness(eval.Config{Seeds: []uint64{1}, MaxTest: 100})
+	if _, err := AnalyzeErrors(h, lm.GPT4, "NOPE", 3); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestCascadeStudySmall(t *testing.T) {
+	h := eval.NewHarness(eval.Config{Seeds: []uint64{1}, MaxTest: 200})
+	results, err := RunCascadeStudy(h, []string{"ZOYE"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("%d results", len(results))
+	}
+	r := results[0]
+	if r.EscalationRate <= 0 || r.EscalationRate > 1 {
+		t.Fatalf("escalation rate %v", r.EscalationRate)
+	}
+	if r.CascadeCostPer1K >= r.PlainCostPer1K {
+		t.Fatalf("cascade did not reduce cost: %v vs %v", r.CascadeCostPer1K, r.PlainCostPer1K)
+	}
+	out := RenderCascade(results)
+	if !strings.Contains(out, "ZOYE") || !strings.Contains(out, "escalat") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestTable4RAGSpecs(t *testing.T) {
+	specs := Table4RAGSpecs()
+	if len(specs) != 6 {
+		t.Fatalf("%d specs, want 6 (3 models × 2 strategies)", len(specs))
+	}
+	ragRows := 0
+	for _, s := range specs {
+		if strings.Contains(s.Label, "rag") {
+			ragRows++
+			m := s.Factory()
+			if !strings.Contains(m.Name(), "RAG") {
+				t.Fatalf("rag spec built non-RAG matcher %q", m.Name())
+			}
+		}
+	}
+	if ragRows != 3 {
+		t.Fatalf("%d RAG rows, want 3", ragRows)
+	}
+}

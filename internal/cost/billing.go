@@ -1,0 +1,89 @@
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/record"
+	"repro/internal/tokenize"
+)
+
+// BillingEstimate prices a matching workload on a given model: token
+// counts come from the study's tokenizer over the actual serialized
+// prompts, prices from the Table 6 model. This is the estimator behind
+// the paper's budget statement ("we spend more than 290 dollars on OpenAI
+// API calls") and behind capacity planning for the cloud-service use case.
+type BillingEstimate struct {
+	Model string
+	// Pairs is the number of candidate pairs priced.
+	Pairs int
+	// Tokens is the total input-token count across all prompts.
+	Tokens int
+	// TokensPerPair is the mean prompt length.
+	TokensPerPair float64
+	// Dollars is the total input cost at the model's per-1K rate.
+	Dollars float64
+}
+
+// promptOverheadTokens approximates the fixed prompt framing (task
+// instruction + answer scaffold) of the general-complex-force format.
+const promptOverheadTokens = 42
+
+// EstimateBilling prices one batch of pairs on one model.
+func EstimateBilling(model string, pairs []record.Pair, cluster Cluster) (BillingEstimate, error) {
+	c, err := CostFor(model, cluster)
+	if err != nil {
+		return BillingEstimate{}, err
+	}
+	est := BillingEstimate{Model: model, Pairs: len(pairs)}
+	for _, p := range pairs {
+		est.Tokens += promptOverheadTokens +
+			tokenize.Count(record.SerializeRecord(p.Left, record.SerializeOptions{})) +
+			tokenize.Count(record.SerializeRecord(p.Right, record.SerializeOptions{}))
+	}
+	if est.Pairs > 0 {
+		est.TokensPerPair = float64(est.Tokens) / float64(est.Pairs)
+	}
+	est.Dollars = float64(est.Tokens) / 1000 * c.CostPer1K
+	return est, nil
+}
+
+// StudyBudget estimates the OpenAI spend of the paper's own protocol: the
+// given per-dataset test pairs, priced per model and multiplied by the
+// number of evaluation runs (seeds × prompting variants).
+type StudyBudget struct {
+	PerModel map[string]float64
+	Total    float64
+}
+
+// EstimateStudyBudget prices the commercial-API portion of the study:
+// every dataset's (≤1,250-pair) test set, runsPerModel evaluation passes
+// per model. The paper runs 5 seeds × (Table 3 + two extra Table 4
+// demonstration variants) per GPT model.
+func EstimateStudyBudget(datasets map[string][]record.Pair, runsPerModel int, cluster Cluster) (StudyBudget, error) {
+	budget := StudyBudget{PerModel: make(map[string]float64)}
+	for model := range APIPrice {
+		var modelTotal float64
+		for _, pairs := range datasets {
+			est, err := EstimateBilling(model, pairs, cluster)
+			if err != nil {
+				return StudyBudget{}, err
+			}
+			modelTotal += est.Dollars * float64(runsPerModel)
+		}
+		budget.PerModel[model] = modelTotal
+		budget.Total += modelTotal
+	}
+	return budget, nil
+}
+
+// RenderBudget formats a study budget.
+func RenderBudget(b StudyBudget) string {
+	out := "Estimated commercial-API budget for the study protocol:\n"
+	for _, model := range []string{"GPT-4", "GPT-3.5-Turbo", "GPT-4o-Mini"} {
+		if d, ok := b.PerModel[model]; ok {
+			out += fmt.Sprintf("  %-14s $%8.2f\n", model, d)
+		}
+	}
+	out += fmt.Sprintf("  %-14s $%8.2f  (paper: \"more than 290 dollars\")\n", "total", b.Total)
+	return out
+}

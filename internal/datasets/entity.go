@@ -1,0 +1,150 @@
+package datasets
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/record"
+	"repro/internal/stats"
+)
+
+// entity holds the canonical attribute values of one real-world entity,
+// before source-specific formatting and corruption produce the two record
+// views.
+type entity []string
+
+// spec defines one benchmark dataset: its published statistics, its entity
+// factory, its hard-negative mutator, and its difficulty profile.
+type spec struct {
+	name     string
+	fullName string
+	domain   string
+	schema   record.Schema
+	pos      int
+	neg      int
+
+	// cleanProfile corrupts the left view (the cleaner source), dirtyProfile
+	// the right view (the messier source).
+	cleanProfile CorruptionProfile
+	dirtyProfile CorruptionProfile
+
+	// hardNegRatio is the fraction of negatives built by mutating an entity
+	// into a confusable sibling instead of pairing independent entities.
+	hardNegRatio float64
+
+	// relatedNegRatio is the fraction of negatives built from independent
+	// entities that share categorical context (same venue, city, brand...),
+	// simulating the blocking step that produced the candidate set: blocked
+	// negatives always share surface tokens with their counterpart.
+	relatedNegRatio float64
+
+	// sharedOnRelated lists the attribute indices copied from the left
+	// entity when building a related negative. Only categorical,
+	// non-identifying attributes belong here.
+	sharedOnRelated []int
+
+	// gen draws a fresh canonical entity. The serial parameter is unique
+	// per entity and must be woven into at least one discriminative value
+	// so that entities are never accidental duplicates.
+	gen func(rng *stats.RNG, serial int) entity
+
+	// mutate turns an entity into a hard negative sibling: most values
+	// stay, a discriminative one changes.
+	mutate func(e entity, rng *stats.RNG, serial int) entity
+
+	// rightStyle optionally reformats canonical values for the right
+	// source (author initials, phone punctuation, ...) before corruption.
+	rightStyle func(vals entity, rng *stats.RNG) entity
+}
+
+func pick(rng *stats.RNG, pool []string) string {
+	return pool[rng.Intn(len(pool))]
+}
+
+// pickN draws n distinct entries from pool.
+func pickN(rng *stats.RNG, pool []string, n int) []string {
+	idx := rng.Sample(len(pool), n)
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+func clone(e entity) entity {
+	return append(entity(nil), e...)
+}
+
+// modelNumber builds a discriminative alphanumeric identifier that encodes
+// the entity serial, guaranteeing uniqueness.
+func modelNumber(rng *stats.RNG, serial int) string {
+	letters := "abcdefghjkmnpqrstuvwx"
+	l1 := letters[rng.Intn(len(letters))]
+	l2 := letters[rng.Intn(len(letters))]
+	return fmt.Sprintf("%c%c-%d%02d", l1, l2, serial%997, rng.Intn(100))
+}
+
+func personName(rng *stats.RNG) string {
+	return pick(rng, firstNames) + " " + pick(rng, lastNames)
+}
+
+// authorList renders n full author names joined with "and".
+func authorList(rng *stats.RNG, n int) string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = personName(rng)
+	}
+	return strings.Join(names, " and ")
+}
+
+// initialsStyle rewrites "john smith and mei chen" as "j. smith, m. chen",
+// the classic DBLP-vs-ACM author formatting difference.
+func initialsStyle(authors string) string {
+	parts := strings.Split(authors, " and ")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		words := strings.Fields(p)
+		if len(words) < 2 {
+			out = append(out, p)
+			continue
+		}
+		out = append(out, fmt.Sprintf("%c. %s", words[0][0], words[len(words)-1]))
+	}
+	return strings.Join(out, ", ")
+}
+
+func titleWords(rng *stats.RNG, n int) string {
+	return strings.Join(pickN(rng, csTopics, n), " ")
+}
+
+func phoneNumber(rng *stats.RNG, serial int) string {
+	return fmt.Sprintf("%03d-555-%04d", 200+serial%700, rng.Intn(10000))
+}
+
+// rewritePhone renders a phone number in the alternative punctuation style.
+func rewritePhone(p string) string {
+	parts := strings.Split(p, "-")
+	if len(parts) != 3 {
+		return p
+	}
+	return fmt.Sprintf("(%s) %s-%s", parts[0], parts[1], parts[2])
+}
+
+func price(rng *stats.RNG, lo, hi float64) string {
+	v := lo + rng.Float64()*(hi-lo)
+	return fmt.Sprintf("$%.2f", v)
+}
+
+func year(rng *stats.RNG, lo, hi int) string {
+	return fmt.Sprintf("%d", lo+rng.Intn(hi-lo+1))
+}
+
+// descriptionFor builds a product description from the title plus category
+// and filler text; length controls noise mass.
+func descriptionFor(title string, rng *stats.RNG, filler int) string {
+	parts := []string{title, pick(rng, webProductCategories)}
+	for i := 0; i < filler; i++ {
+		parts = append(parts, marketingFiller[rng.Intn(len(marketingFiller))])
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,249 @@
+// Package datasets generates the 11 benchmark datasets of the study
+// (Table 1) as seeded synthetic equivalents. The original Magellan/WDC
+// data cannot be redistributed or fetched offline; each generator
+// reproduces the published statistics exactly (#attributes, #positives,
+// #negatives), the domain's textual character (citation venues, product
+// model numbers, restaurant phone numbers, ...), and a per-dataset
+// difficulty profile chosen so the relative hardness ordering reported in
+// the paper holds (FOZA/ZOYE easy and well-structured, AMGO/WDC dominated
+// by domain-specific product language, DBGO noisy-but-structured, ...).
+//
+// Entity universes are disjoint across datasets by construction (every
+// generator draws from its own seeded stream and name space), which
+// reproduces the paper's zero tuple-overlap validation (§5.1).
+package datasets
+
+// Vocabulary pools shared by the domain entity factories. The pools are
+// intentionally larger than any single dataset's draw so that entities are
+// (probabilistically) unique within and across datasets.
+
+var firstNames = []string{
+	"james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+	"linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+	"joseph", "jessica", "thomas", "sarah", "charles", "karen", "wei",
+	"ananya", "carlos", "yuki", "fatima", "lars", "ingrid", "pablo",
+	"chen", "amara", "henrik", "sofia", "dmitri", "leila", "marco",
+	"priya", "kwame", "astrid", "rafael", "mei",
+}
+
+var lastNames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+	"davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+	"wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+	"lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+	"ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+	"wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+	"adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+	"carter", "roberts", "kumar", "patel", "kim", "chen", "yamamoto",
+	"schmidt", "mueller", "rossi", "silva", "kowalski",
+}
+
+// csTopics feeds citation titles.
+var csTopics = []string{
+	"query", "optimization", "distributed", "transaction", "processing",
+	"relational", "database", "systems", "indexing", "concurrency",
+	"control", "recovery", "parallel", "stream", "mining", "clustering",
+	"classification", "learning", "semantic", "integration", "schema",
+	"matching", "entity", "resolution", "deduplication", "warehousing",
+	"olap", "aggregation", "sampling", "approximate", "answering",
+	"spatial", "temporal", "graph", "network", "analysis", "storage",
+	"memory", "cache", "performance", "benchmark", "evaluation",
+	"scalable", "efficient", "adaptive", "incremental", "robust",
+	"probabilistic", "uncertain", "privacy", "secure", "federated",
+	"cloud", "elastic", "workload", "tuning", "selection", "estimation",
+	"cardinality", "join", "algorithms", "structures", "compression",
+	"partitioning", "replication", "consistency", "availability",
+	"views", "materialized", "queries", "xml", "web", "data",
+}
+
+var venues = []string{
+	"sigmod conference", "vldb", "icde", "acm transactions on database systems",
+	"sigmod record", "vldb journal", "kdd", "icdt", "edbt", "cikm",
+	"ieee transactions on knowledge and data engineering", "pods",
+	"information systems", "data and knowledge engineering",
+}
+
+// Product vocabulary.
+var productBrands = []string{
+	"sony", "samsung", "panasonic", "canon", "nikon", "toshiba", "philips",
+	"sharp", "jvc", "sanyo", "pioneer", "kenwood", "yamaha", "bose",
+	"logitech", "belkin", "netgear", "linksys", "garmin", "olympus",
+	"casio", "epson", "brother", "lexmark", "sandisk", "kingston",
+	"tripplite", "startech", "plantronics", "jabra",
+}
+
+var productTypes = []string{
+	"camera", "camcorder", "television", "monitor", "printer", "scanner",
+	"keyboard", "mouse", "headphones", "speaker", "receiver", "turntable",
+	"projector", "router", "switch", "adapter", "charger", "battery",
+	"cable", "case", "tripod", "microphone", "webcam", "radio",
+	"player", "recorder", "subwoofer", "soundbar", "dock", "hub",
+	"drive", "enclosure", "mount", "stand", "remote", "lens",
+	"flash", "filter", "bag", "sleeve",
+}
+
+var productAdjectives = []string{
+	"digital", "wireless", "portable", "compact", "professional", "ultra",
+	"premium", "slim", "rugged", "waterproof", "bluetooth", "optical",
+	"stereo", "noise-canceling", "rechargeable", "high-speed", "dual",
+	"universal", "ergonomic", "adjustable",
+}
+
+var productColors = []string{
+	"black", "white", "silver", "gray", "blue", "red", "titanium",
+}
+
+var marketingFiller = []string{
+	"best", "seller", "new", "improved", "value", "pack", "limited",
+	"edition", "warranty", "included", "free", "shipping", "genuine",
+	"original", "authentic", "top", "rated", "quality", "deal", "sale",
+	"clearance", "exclusive", "bundle", "accessory", "kit", "easy",
+	"setup", "plug", "play", "compatible", "replacement", "durable",
+	"lightweight", "design", "style", "modern", "classic",
+}
+
+// Software vocabulary (AMGO).
+var softwareVendors = []string{
+	"microsoft", "adobe", "symantec", "intuit", "corel", "mcafee",
+	"autodesk", "roxio", "nero", "kaspersky", "avast", "nuance",
+	"pinnacle", "cyberlink", "broderbund", "encore", "individual",
+	"topics", "nova", "vtech",
+}
+
+var softwareProducts = []string{
+	"office", "photoshop", "antivirus", "quickbooks", "draw", "security",
+	"autocad", "creator", "burning", "internet", "studio", "director",
+	"suite", "premiere", "illustrator", "acrobat", "taxcut", "money",
+	"publisher", "access", "project", "visio", "painter", "designer",
+	"firewall", "utilities", "backup", "recovery", "cleaner", "tuneup",
+}
+
+var softwareEditions = []string{
+	"standard", "professional", "deluxe", "premium", "home", "student",
+	"enterprise", "ultimate", "basic", "plus",
+}
+
+// Restaurant vocabulary.
+var restaurantNames1 = []string{
+	"golden", "blue", "royal", "little", "grand", "old", "new", "happy",
+	"lucky", "silver", "red", "green", "sunny", "corner", "garden",
+	"ocean", "mountain", "river", "village", "uptown", "downtown",
+	"original", "famous", "twin", "crystal",
+}
+
+var restaurantNames2 = []string{
+	"dragon", "palace", "bistro", "grill", "kitchen", "cafe", "diner",
+	"house", "table", "spoon", "fork", "plate", "oven", "terrace",
+	"tavern", "cantina", "trattoria", "brasserie", "pavilion", "lounge",
+	"garden", "room", "spot", "place", "corner",
+}
+
+var cuisines = []string{
+	"american", "italian", "french", "chinese", "japanese", "mexican",
+	"thai", "indian", "mediterranean", "greek", "spanish", "korean",
+	"vietnamese", "seafood", "steakhouse", "barbecue", "vegetarian",
+	"fusion", "continental", "cajun",
+}
+
+var streetNames = []string{
+	"main", "oak", "maple", "cedar", "pine", "elm", "washington",
+	"lincoln", "madison", "jefferson", "park", "lake", "hill", "river",
+	"church", "market", "broad", "center", "union", "franklin",
+	"highland", "sunset", "valley", "spring", "mill",
+}
+
+var streetKinds = []string{"street", "avenue", "boulevard", "road", "drive", "lane", "way", "place"}
+
+var cities = []string{
+	"new york", "los angeles", "chicago", "houston", "phoenix",
+	"philadelphia", "san antonio", "san diego", "dallas", "san jose",
+	"austin", "seattle", "denver", "boston", "portland", "atlanta",
+	"miami", "oakland", "minneapolis", "tulsa",
+}
+
+// Beer vocabulary.
+var beerAdjectives = []string{
+	"hoppy", "amber", "golden", "dark", "wild", "old", "crooked",
+	"raging", "lazy", "angry", "burning", "frozen", "midnight", "summer",
+	"winter", "harvest", "smoked", "barrel-aged", "imperial", "rustic",
+}
+
+var beerNouns = []string{
+	"trail", "river", "moon", "bear", "eagle", "wolf", "fox", "owl",
+	"anchor", "hammer", "wagon", "barn", "creek", "ridge", "summit",
+	"canyon", "prairie", "harbor", "lighthouse", "mill",
+}
+
+var beerStyles = []string{
+	"india pale ale", "american pale ale", "stout", "porter", "lager",
+	"pilsner", "wheat ale", "saison", "amber ale", "brown ale",
+	"double india pale ale", "blonde ale", "kolsch", "hefeweizen",
+	"barleywine", "sour ale",
+}
+
+var breweryNames = []string{
+	"stone creek brewing", "iron horse brewery", "blue ridge brewing",
+	"copper kettle brewing", "north fork brewery", "granite peak brewing",
+	"silver birch brewing", "red barn brewery", "salt flat brewing",
+	"timberline brewery", "crooked river brewing", "high desert brewery",
+	"green valley brewing", "old mill brewery", "harbor light brewing",
+	"twin pines brewing", "wild plains brewery", "falcon ridge brewing",
+	"stormwatch brewing", "quarry stone brewery",
+}
+
+// Music vocabulary.
+var musicAdjectives = []string{
+	"broken", "endless", "silent", "electric", "golden", "midnight",
+	"crimson", "velvet", "neon", "distant", "fading", "restless",
+	"hollow", "shining", "wandering", "burning", "frozen", "savage",
+	"gentle", "wicked",
+}
+
+var musicNouns = []string{
+	"hearts", "dreams", "roads", "skies", "rivers", "shadows", "echoes",
+	"fires", "storms", "lights", "wires", "stars", "waves", "stones",
+	"bells", "mirrors", "horizons", "embers", "tides", "whispers",
+}
+
+var artistNames = []string{
+	"the velvet sparrows", "midnight carousel", "iron lotus",
+	"the paper kings", "neon delta", "silver fox union", "the wild hollows",
+	"cobalt avenue", "the glass pilots", "ember and oak",
+	"the northern lights", "scarlet harbor", "the brass foxes",
+	"violet skyline", "the lost cartographers", "golden era revival",
+	"the quiet rebellion", "stereo mirage", "the autumn wolves",
+	"crystal canyon",
+}
+
+var musicGenres = []string{
+	"rock", "pop", "country", "jazz", "blues", "electronic", "folk",
+	"hip-hop", "r&b", "alternative", "indie", "metal", "classical",
+	"reggae",
+}
+
+// Movie vocabulary.
+var movieAdjectives = []string{
+	"last", "dark", "hidden", "final", "lost", "secret", "broken",
+	"silent", "eternal", "forgotten", "perfect", "deadly", "long",
+	"strange", "wild",
+}
+
+var movieNouns = []string{
+	"horizon", "empire", "garden", "promise", "journey", "letter",
+	"winter", "summer", "stranger", "detective", "kingdom", "harvest",
+	"crossing", "reckoning", "masquerade", "voyage", "inheritance",
+	"conspiracy", "covenant", "frontier",
+}
+
+var movieGenresList = []string{
+	"drama", "comedy", "thriller", "action", "romance", "horror",
+	"mystery", "adventure", "science fiction", "documentary",
+}
+
+// webProductCategories feeds WDC/ABT category-ish description text.
+var webProductCategories = []string{
+	"home audio", "car electronics", "computer accessories",
+	"office electronics", "photography", "portable audio",
+	"home theater", "networking", "storage devices", "gps navigation",
+	"wearable technology", "gaming accessories",
+}

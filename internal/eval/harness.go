@@ -1,0 +1,198 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/datasets"
+	"repro/internal/matchers"
+	"repro/internal/record"
+	"repro/internal/stats"
+)
+
+// DatasetSeed fixes the benchmark data: the datasets themselves are
+// constant across experimental repetitions (only serialization, training
+// randomness and demonstration selection vary per run seed), mirroring
+// fixed benchmark files on disk.
+const DatasetSeed = 42
+
+// MaxTestSamples is the test-set cap the paper adopts from the MatchGPT
+// study (1,250 randomly chosen samples, identical across baselines).
+const MaxTestSamples = 1250
+
+// DefaultSeeds are the five repetition seeds used throughout the study.
+var DefaultSeeds = []uint64{1, 2, 3, 4, 5}
+
+// Config controls a leave-one-dataset-out evaluation.
+type Config struct {
+	// Seeds are the repetition seeds (the paper uses five).
+	Seeds []uint64
+	// MaxTest caps the test-set size (0 means MaxTestSamples).
+	MaxTest int
+}
+
+// DefaultConfig returns the paper's protocol: five seeds, 1,250-sample
+// test cap.
+func DefaultConfig() Config {
+	return Config{Seeds: DefaultSeeds, MaxTest: MaxTestSamples}
+}
+
+// Result aggregates one matcher's scores on one target dataset across
+// repetitions.
+type Result struct {
+	Matcher string
+	Target  string
+	// F1s holds the per-seed F1 scores (percentage scale).
+	F1s []float64
+	// Confusions holds the per-seed confusion matrices.
+	Confusions []Confusion
+}
+
+// Mean returns the mean F1 across seeds.
+func (r Result) Mean() float64 { return stats.Mean(r.F1s) }
+
+// Std returns the F1 standard deviation across seeds.
+func (r Result) Std() float64 { return stats.StdDev(r.F1s) }
+
+// MatcherFactory constructs a fresh matcher instance per run, so runs
+// never share trained state.
+type MatcherFactory func() matchers.Matcher
+
+// Harness runs the leave-one-dataset-out protocol. It owns the generated
+// benchmark and the per-target test downsampling (fixed across all
+// baselines, per the paper).
+type Harness struct {
+	cfg  Config
+	all  []*record.Dataset
+	test map[string][]int // target -> fixed test indices
+}
+
+// NewHarness generates the benchmark and fixes the test partitions.
+func NewHarness(cfg Config) *Harness {
+	if len(cfg.Seeds) == 0 {
+		cfg.Seeds = DefaultSeeds
+	}
+	if cfg.MaxTest <= 0 {
+		cfg.MaxTest = MaxTestSamples
+	}
+	h := &Harness{cfg: cfg, all: datasets.GenerateAll(DatasetSeed), test: make(map[string][]int)}
+	for _, d := range h.all {
+		h.test[d.Name] = sampleTest(d, cfg.MaxTest)
+	}
+	return h
+}
+
+// sampleTest draws the fixed ≤cap test indices for a dataset. The draw is
+// stratified-free uniform (as in the MatchGPT protocol) but deterministic,
+// so every baseline sees the identical test set.
+func sampleTest(d *record.Dataset, cap int) []int {
+	if len(d.Pairs) <= cap {
+		idx := make([]int, len(d.Pairs))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	rng := stats.NewRNG(DatasetSeed).Split("test:" + d.Name)
+	return rng.Sample(len(d.Pairs), cap)
+}
+
+// Datasets returns the generated benchmark datasets in Table 1 order.
+func (h *Harness) Datasets() []*record.Dataset { return h.all }
+
+// Dataset returns the named dataset, or nil.
+func (h *Harness) Dataset(name string) *record.Dataset {
+	for _, d := range h.all {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// TestIndices returns the fixed test indices for a target.
+func (h *Harness) TestIndices(target string) []int { return h.test[target] }
+
+// Transfer returns the ten transfer datasets for a target (every dataset
+// except the target).
+func (h *Harness) Transfer(target string) []*record.Dataset {
+	var out []*record.Dataset
+	for _, d := range h.all {
+		if d.Name != target {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// EvaluateTarget runs one matcher on one target dataset across all seeds.
+func (h *Harness) EvaluateTarget(factory MatcherFactory, target string) (Result, error) {
+	d := h.Dataset(target)
+	if d == nil {
+		return Result{}, fmt.Errorf("eval: unknown target dataset %q", target)
+	}
+	testIdx := h.test[target]
+	pairs := make([]record.Pair, len(testIdx))
+	labels := make([]bool, len(testIdx))
+	for i, j := range testIdx {
+		pairs[i] = d.Pairs[j].Pair
+		labels[i] = d.Pairs[j].Match
+	}
+	transfer := h.Transfer(target)
+
+	res := Result{Target: target}
+	for _, seed := range h.cfg.Seeds {
+		m := factory()
+		if res.Matcher == "" {
+			res.Matcher = m.Name()
+		}
+		rng := stats.NewRNG(seed).Split("run:" + target + ":" + m.Name())
+		m.Train(transfer, rng.Split("train"))
+		task := matchers.Task{
+			Pairs:      pairs,
+			Opts:       record.SerializeOptions{ColumnOrder: matchers.ShuffledOrder(d.Schema.NumAttrs(), rng.Split("serialize"))},
+			Schema:     d.Schema,
+			TargetName: target,
+		}
+		preds := m.Predict(task)
+		c := Score(preds, labels)
+		res.Confusions = append(res.Confusions, c)
+		res.F1s = append(res.F1s, c.F1())
+	}
+	return res, nil
+}
+
+// EvaluateAll runs one matcher across every target dataset
+// (leave-one-dataset-out over the full benchmark). Results come back in
+// Table 1 dataset order.
+func (h *Harness) EvaluateAll(factory MatcherFactory) ([]Result, error) {
+	var out []Result
+	for _, d := range h.all {
+		r, err := h.EvaluateTarget(factory, d.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// MacroMean computes the per-seed macro-averaged F1 across targets, then
+// returns its mean and standard deviation — the "Mean" column of Tables 3
+// and 4.
+func MacroMean(results []Result) (mean, std float64) {
+	if len(results) == 0 {
+		return 0, 0
+	}
+	nSeeds := len(results[0].F1s)
+	perSeed := make([]float64, nSeeds)
+	for s := 0; s < nSeeds; s++ {
+		sum := 0.0
+		for _, r := range results {
+			if s < len(r.F1s) {
+				sum += r.F1s[s]
+			}
+		}
+		perSeed[s] = sum / float64(len(results))
+	}
+	return stats.MeanStd(perSeed)
+}

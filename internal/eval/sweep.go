@@ -1,0 +1,86 @@
+package eval
+
+import "sort"
+
+// PRPoint is one operating point of a precision-recall sweep.
+type PRPoint struct {
+	Threshold float64
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// SweepThresholds computes the precision-recall curve of a scored
+// prediction run: one operating point per distinct score, descending. It
+// is the analysis behind threshold selection for score-producing matchers
+// (the cascade bands, the prompted engine's calibration study).
+func SweepThresholds(scores []float64, labels []bool) []PRPoint {
+	if len(scores) != len(labels) {
+		panic("eval: SweepThresholds length mismatch")
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	totalPos := 0
+	for _, l := range labels {
+		if l {
+			totalPos++
+		}
+	}
+
+	var points []PRPoint
+	tp, fp := 0, 0
+	for k, i := range idx {
+		if labels[i] {
+			tp++
+		} else {
+			fp++
+		}
+		// Emit a point only at score boundaries (ties share one point).
+		if k+1 < len(idx) && scores[idx[k+1]] == scores[i] {
+			continue
+		}
+		p := PRPoint{Threshold: scores[i]}
+		if tp+fp > 0 {
+			p.Precision = float64(tp) / float64(tp+fp)
+		}
+		if totalPos > 0 {
+			p.Recall = float64(tp) / float64(totalPos)
+		}
+		if p.Precision+p.Recall > 0 {
+			p.F1 = 100 * 2 * p.Precision * p.Recall / (p.Precision + p.Recall)
+		}
+		points = append(points, p)
+	}
+	return points
+}
+
+// BestF1Point returns the operating point with the highest F1 (the oracle
+// threshold — an upper bound no label-free calibration can beat).
+func BestF1Point(points []PRPoint) PRPoint {
+	var best PRPoint
+	for _, p := range points {
+		if p.F1 > best.F1 {
+			best = p
+		}
+	}
+	return best
+}
+
+// AveragePrecision computes the area under the precision-recall curve by
+// the step-wise interpolation standard in retrieval evaluation.
+func AveragePrecision(points []PRPoint) float64 {
+	ap := 0.0
+	prevRecall := 0.0
+	for _, p := range points {
+		ap += p.Precision * (p.Recall - prevRecall)
+		prevRecall = p.Recall
+	}
+	return ap
+}

@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSweepThresholdsBasics(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.4, 0.2}
+	labels := []bool{true, true, false, false}
+	points := SweepThresholds(scores, labels)
+	if len(points) != 4 {
+		t.Fatalf("%d points, want 4", len(points))
+	}
+	// At the second point (threshold 0.8): tp=2, fp=0 → P=1, R=1.
+	if points[1].Precision != 1 || points[1].Recall != 1 {
+		t.Fatalf("point 1: %+v", points[1])
+	}
+	best := BestF1Point(points)
+	if best.F1 != 100 {
+		t.Fatalf("best F1 = %v, want 100", best.F1)
+	}
+	if ap := AveragePrecision(points); math.Abs(ap-1) > 1e-12 {
+		t.Fatalf("AP = %v, want 1 for perfect ranking", ap)
+	}
+}
+
+func TestSweepThresholdsTies(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5}
+	labels := []bool{true, false, true}
+	points := SweepThresholds(scores, labels)
+	if len(points) != 1 {
+		t.Fatalf("tied scores should share one point, got %d", len(points))
+	}
+	if points[0].Recall != 1 {
+		t.Fatalf("single point recall = %v", points[0].Recall)
+	}
+}
+
+func TestSweepThresholdsImperfectRanking(t *testing.T) {
+	scores := []float64{0.9, 0.7, 0.6, 0.3}
+	labels := []bool{true, false, true, false}
+	points := SweepThresholds(scores, labels)
+	best := BestF1Point(points)
+	if best.F1 >= 100 {
+		t.Fatal("imperfect ranking cannot reach F1 100")
+	}
+	ap := AveragePrecision(points)
+	if ap <= 0.5 || ap >= 1 {
+		t.Fatalf("AP = %v out of expected band", ap)
+	}
+}
+
+func TestSweepThresholdsEmpty(t *testing.T) {
+	if got := SweepThresholds(nil, nil); got != nil {
+		t.Fatal("empty input should yield nil")
+	}
+}
+
+func TestSweepThresholdsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	SweepThresholds([]float64{1}, []bool{true, false})
+}
+
+func TestBestF1PointEmpty(t *testing.T) {
+	if got := BestF1Point(nil); got.F1 != 0 {
+		t.Fatalf("empty best = %+v", got)
+	}
+}

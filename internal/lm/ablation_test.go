@@ -1,0 +1,106 @@
+package lm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/record"
+	"repro/internal/stats"
+)
+
+// hardNegativePairs builds pairs where identifier conflict is the only
+// reliable discriminator.
+func hardNegativePairs() ([]record.Pair, []bool) {
+	var pairs []record.Pair
+	var labels []bool
+	for i := 0; i < 120; i++ {
+		id := fmt.Sprintf("kx-%04d", i*13%9999)
+		otherID := fmt.Sprintf("kx-%04d", (i*13+7)%9999)
+		l := record.Record{ID: fmt.Sprintf("l%d", i), Values: []string{"sony digital camera " + id + " black"}}
+		rPos := record.Record{ID: fmt.Sprintf("p%d", i), Values: []string{"SONY digital cam " + id + " blk"}}
+		rNeg := record.Record{ID: fmt.Sprintf("n%d", i), Values: []string{"sony digital camera " + otherID + " black"}}
+		pairs = append(pairs, record.Pair{Left: l, Right: rPos}, record.Pair{Left: l, Right: rNeg})
+		labels = append(labels, true, false)
+	}
+	return pairs, labels
+}
+
+func batchAccuracy(m *PromptModel, pairs []record.Pair, labels []bool) float64 {
+	for _, p := range pairs {
+		m.ObserveCorpus(record.SerializeRecord(p.Left, record.SerializeOptions{}))
+		m.ObserveCorpus(record.SerializeRecord(p.Right, record.SerializeOptions{}))
+	}
+	preds := m.MatchBatch(pairs, record.SerializeOptions{})
+	correct := 0
+	for i := range preds {
+		if preds[i] == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds))
+}
+
+func TestAblationIdentifierSignalsMatter(t *testing.T) {
+	pairs, labels := hardNegativePairs()
+
+	full := NewPromptModel(GPT4, stats.NewRNG(1))
+	fullAcc := batchAccuracy(full, pairs, labels)
+
+	ablated := NewPromptModel(GPT4, stats.NewRNG(1))
+	ablated.SetAblation(AblationFlags{NoIdentifierSignals: true})
+	ablatedAcc := batchAccuracy(ablated, pairs, labels)
+
+	if fullAcc <= ablatedAcc {
+		t.Fatalf("identifier signals should matter on identifier-only data: full %.3f vs ablated %.3f",
+			fullAcc, ablatedAcc)
+	}
+	if fullAcc < 0.9 {
+		t.Fatalf("full engine accuracy %.3f too low on solvable data", fullAcc)
+	}
+}
+
+func TestAblationZeroValueIsFullEngine(t *testing.T) {
+	pairs, labels := hardNegativePairs()
+	a := NewPromptModel(GPT4, stats.NewRNG(2))
+	b := NewPromptModel(GPT4, stats.NewRNG(2))
+	b.SetAblation(AblationFlags{})
+	if batchAccuracy(a, pairs, labels) != batchAccuracy(b, pairs, labels) {
+		t.Fatal("zero-value ablation flags changed behaviour")
+	}
+}
+
+func TestAblationNoAdaptiveThreshold(t *testing.T) {
+	pairs, _ := hardNegativePairs()
+	m := NewPromptModel(GPT4, stats.NewRNG(3))
+	m.SetAblation(AblationFlags{NoAdaptiveThreshold: true})
+	for _, p := range pairs {
+		m.ObserveCorpus(record.SerializeRecord(p.Left, record.SerializeOptions{}))
+	}
+	preds := m.MatchBatch(pairs, record.SerializeOptions{})
+	if len(preds) != len(pairs) {
+		t.Fatal("prediction count mismatch under ablation")
+	}
+}
+
+func TestRAGDemoDirection(t *testing.T) {
+	// A relevant demo whose label agrees with the evidence must push the
+	// decision further in that direction (monotone in relevance).
+	pairs, labels := hardNegativePairs()
+	m := NewPromptModel(GPT4, stats.NewRNG(4))
+	for _, p := range pairs {
+		m.ObserveCorpus(record.SerializeRecord(p.Left, record.SerializeOptions{}))
+	}
+	demoPair := record.LabeledPair{Pair: pairs[0], Match: true}
+	preds := m.MatchBatchRAG(pairs, record.SerializeOptions{}, func(i int) []RetrievedDemo {
+		return []RetrievedDemo{{Demo: Demo{Pair: demoPair, Dataset: "X"}, Relevance: 0.9}}
+	})
+	correct := 0
+	for i := range preds {
+		if preds[i] == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(preds)); acc < 0.85 {
+		t.Fatalf("RAG batch accuracy %.3f", acc)
+	}
+}

@@ -1,0 +1,285 @@
+package lm
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// knowledgeBase is the world-knowledge dictionary that zero-shot models
+// draw on: abbreviation expansions, synonyms and alias pairs spanning the
+// benchmark domains. A model with Semantics capability c "knows" a
+// deterministic pseudo-random c-fraction of the entries (see knows), so
+// stronger models normalise more aliases and therefore see through more
+// surface variation — without any per-dataset tuning.
+var knowledgeBase = map[string]string{
+	// Address abbreviations (restaurant datasets).
+	"st":    "street",
+	"st.":   "street",
+	"ave":   "avenue",
+	"ave.":  "avenue",
+	"blvd":  "boulevard",
+	"blvd.": "boulevard",
+	"rd":    "road",
+	"rd.":   "road",
+	"dr":    "drive",
+	"dr.":   "drive",
+	"e":     "east",
+	"w":     "west",
+	"n":     "north",
+	"s":     "south",
+	"ste":   "suite",
+
+	// Citation venue aliases (DBLP/ACM/Google Scholar).
+	"sigmod": "sigmod conference",
+	"vldb":   "very large data bases",
+	"pvldb":  "very large data bases",
+	"icde":   "international conference on data engineering",
+	"tods":   "acm transactions on database systems",
+	"kdd":    "knowledge discovery and data mining",
+	"intl":   "international",
+	"conf":   "conference",
+	"proc":   "proceedings",
+	"proc.":  "proceedings",
+	"trans":  "transactions",
+	"trans.": "transactions",
+	"j.":     "journal",
+	"jour":   "journal",
+	"symp":   "symposium",
+	"rec":    "record",
+	"mgmt":   "management",
+	"sys":    "systems",
+	"db":     "database",
+	"dbs":    "databases",
+	"eng":    "engineering",
+	"engr":   "engineering",
+	"tech":   "technology",
+	"univ":   "university",
+
+	// Product / electronics abbreviations and synonyms.
+	"smartphone":  "phone",
+	"smartphones": "phones",
+	"cell":        "mobile",
+	"cellphone":   "phone",
+	"cellphones":  "phones",
+	"unlocked":    "sim-free",
+	"tv":          "television",
+	"cam":         "camera",
+	"pc":          "computer",
+	"nb":          "notebook",
+	"hd":          "high definition",
+	"hdd":         "hard drive",
+	"ssd":         "solid state drive",
+	"gb":          "gigabyte",
+	"tb":          "terabyte",
+	"mb":          "megabyte",
+	"in":          "inch",
+	"inch":        "inches",
+	"wifi":        "wireless",
+	"wi-fi":       "wireless",
+	"bt":          "bluetooth",
+	"blk":         "black",
+	"wht":         "white",
+	"slv":         "silver",
+	"stnls":       "stainless",
+	"w/":          "with",
+	"pk":          "pack",
+	"pcs":         "pieces",
+	"oz":          "ounce",
+	"lb":          "pound",
+	"ed":          "edition",
+	"ed.":         "edition",
+	"vol":         "volume",
+	"vol.":        "volume",
+	"v.":          "version",
+	"ver":         "version",
+	"win":         "windows",
+	"sw":          "software",
+	"app":         "application",
+	"upg":         "upgrade",
+	"lic":         "license",
+
+	// Music / movie abbreviations.
+	"feat":     "featuring",
+	"feat.":    "featuring",
+	"ft":       "featuring",
+	"ft.":      "featuring",
+	"orig":     "original",
+	"snd":      "sound",
+	"sndtrk":   "soundtrack",
+	"ost":      "original soundtrack",
+	"dlx":      "deluxe",
+	"rmx":      "remix",
+	"rmstr":    "remaster",
+	"remaster": "remastered",
+	"lp":       "album",
+	"ep":       "extended play",
+	"dir":      "director",
+	"dir.":     "director",
+	"min":      "minutes",
+	"hr":       "hour",
+
+	// Beer / drink abbreviations.
+	"ipa":  "india pale ale",
+	"apa":  "american pale ale",
+	"dipa": "double india pale ale",
+	"abv":  "alcohol by volume",
+	"co":   "company",
+	"co.":  "company",
+	"brw":  "brewing",
+	"brwy": "brewery",
+	"btl":  "bottle",
+
+	// Generic.
+	"&":     "and",
+	"+":     "and",
+	"inc":   "incorporated",
+	"inc.":  "incorporated",
+	"ltd":   "limited",
+	"corp":  "corporation",
+	"intl.": "international",
+	"dept":  "department",
+	"misc":  "miscellaneous",
+	"asst":  "assorted",
+}
+
+// contrastSets are families of mutually exclusive variant descriptors. A
+// semantically capable model knows that two products carrying *different*
+// members of the same family ("deluxe" vs "premium" edition, "black" vs
+// "silver") are different variants even when every other token matches —
+// the knowledge that separates version/edition hard negatives on the
+// software and electronics datasets.
+var contrastSets = [][]string{
+	{"standard", "professional", "deluxe", "premium", "home", "student", "enterprise", "ultimate", "basic", "plus"},
+	{"black", "white", "silver", "gray", "blue", "red", "titanium"},
+	{"win", "mac", "windows", "linux"},
+	{"remastered", "explicit", "acoustic", "live"},
+}
+
+// contrastConflict reports whether the two token sets carry different
+// members of a known contrast family, gated by semantic coverage: the
+// model must know the family (one check per family) to use it.
+func contrastConflict(a, b map[string]struct{}, coverage float64) bool {
+	for fi, family := range contrastSets {
+		if !knows(fmt.Sprintf("contrast:%d", fi), coverage) {
+			continue
+		}
+		var inA, inB string
+		for _, m := range family {
+			if _, ok := a[m]; ok {
+				inA = m
+			}
+			if _, ok := b[m]; ok {
+				inB = m
+			}
+		}
+		if inA != "" && inB != "" && inA != inB {
+			return true
+		}
+	}
+	return false
+}
+
+// knowsAttend is the attention gate for identifier tokens. Real readers
+// get several chances to notice an identifier (title, spec field,
+// description), so the gate passes if either of two independent draws
+// passes — effective coverage 1-(1-c)², which separates the top models
+// (0.9 → 0.99) from the weak ones (0.5 → 0.75) more sharply than a single
+// draw.
+func knowsAttend(entry string, coverage float64) bool {
+	return knows(entry+"#a", coverage) || knows(entry+"#b", coverage)
+}
+
+// knows reports whether a model with semantic coverage c knows a given
+// knowledge entry. The decision is a deterministic hash of the entry alone
+// (not the model), so capability strictly adds knowledge: a model with
+// higher coverage knows a superset of what a weaker model knows, matching
+// the monotone capability ladder of real model families.
+func knows(entry string, coverage float64) bool {
+	h := fnv.New64a()
+	h.Write([]byte(entry))
+	// FNV-1a mixes trailing-byte differences poorly into the high bits;
+	// run the sum through a SplitMix64 finaliser so that similar entries
+	// ("p13715" vs "p13716") decorrelate before the uniform mapping.
+	z := h.Sum64()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	u := float64(z>>11) / (1 << 53)
+	return u < coverage
+}
+
+// normalizeToken applies the knowledge base to a single token given the
+// model's semantic coverage, returning the canonical form if known.
+func normalizeToken(tok string, coverage float64) string {
+	if canon, ok := knowledgeBase[tok]; ok && knows(tok, coverage) {
+		return canon
+	}
+	return tok
+}
+
+// normalizeText lower-cases, tokenises and canonicalises text with the
+// model's coverage, returning the normalised token list. A normalised
+// field is additionally split on internal punctuation ("(213) 555-0123"
+// and "213-555-0123" normalise to the same digit groups), which is how a
+// capable reader reconciles formatting differences. Normalisation strength
+// scales how much surface cleanup happens at all: a model with low
+// Normalization keeps raw punctuation-laden fields (simulated by keeping a
+// deterministic fraction of fields unnormalised), so they cannot match
+// their clean twins.
+func normalizeText(text string, caps Capabilities) []string {
+	fields := strings.Fields(strings.ToLower(text))
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		tok := strings.Trim(f, ".,;:!?\"'()[]")
+		if tok == "" {
+			continue
+		}
+		if !knows("norm:"+tok, caps.Normalization) {
+			// Model fails to normalise this token: keep the raw field,
+			// punctuation and all, so it won't match its clean twin.
+			out = append(out, f)
+			continue
+		}
+		// Abbreviation lookup happens on the whole trimmed field (the
+		// knowledge base keys include dotted forms like "st."), then the
+		// canonical form is split into alphanumeric subtokens — including
+		// at digit/letter boundaries ("256gb" → "256", "gb") — and each
+		// subtoken gets a second knowledge pass ("gb" → "gigabyte").
+		canon := normalizeToken(tok, caps.Semantics)
+		for _, sub := range splitAlnum(canon) {
+			out = append(out, normalizeToken(sub, caps.Semantics))
+		}
+	}
+	return out
+}
+
+// splitAlnum splits a token into homogeneous runs of letters or digits,
+// dropping punctuation. Pure-punctuation tokens yield nothing.
+func splitAlnum(tok string) []string {
+	var out []string
+	var cur strings.Builder
+	curDigit := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range tok {
+		isLetter := r >= 'a' && r <= 'z'
+		isDigit := r >= '0' && r <= '9'
+		switch {
+		case isLetter || isDigit:
+			if cur.Len() > 0 && isDigit != curDigit {
+				flush()
+			}
+			curDigit = isDigit
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}

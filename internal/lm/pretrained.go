@@ -1,0 +1,53 @@
+package lm
+
+import (
+	"strings"
+
+	"repro/internal/textsim"
+)
+
+// pretrainingCorpus is a compact stand-in for web-scale pretraining
+// exposure: generic English plus domain staples from every benchmark
+// domain. Seeding the IDF weighter with it gives prompted models a prior
+// over token rarity before they see any candidate pairs, so common filler
+// ("the", "with", "black", "street") is down-weighted from the first
+// prediction on, while unseen identifiers score as maximally rare.
+var pretrainingCorpus = []string{
+	"the quick brown fox jumps over the lazy dog and runs down the street",
+	"this product is a great choice for your home office and everyday use",
+	"buy the new wireless digital camera with high definition video recording",
+	"black stainless steel kitchen appliance with one year limited warranty",
+	"proceedings of the international conference on management of data",
+	"journal of database systems and information management research",
+	"authors present a novel approach to query optimization in databases",
+	"restaurant serving american food on main street in new york city",
+	"italian cuisine with a great wine list and outdoor seating available",
+	"india pale ale brewed by the local brewing company with citrus notes",
+	"album by the artist featuring new songs in the pop and rock genre",
+	"movie directed by a famous director starring award winning actors",
+	"software for windows with license for one user and free updates",
+	"the price includes shipping and handling for orders in the united states",
+	"new and used products available from third party sellers online",
+	"the best rated television shows and movies streaming this year",
+	"a comprehensive study of machine learning methods for data integration",
+	"please contact customer service with your order number for support",
+	"classic rock and roll music from the greatest artists of all time",
+	"fresh ingredients and daily specials at the corner cafe downtown",
+}
+
+// pretrainedWeighter returns an IDF weighter seeded with the pretraining
+// corpus.
+func pretrainedWeighter() *textsim.Weighter {
+	w := textsim.NewWeighter()
+	for _, doc := range pretrainingCorpus {
+		w.Observe(doc)
+	}
+	return w
+}
+
+// PromptTokens estimates the token length of a serialized pair prompt, the
+// quantity the cost model bills. The estimate uses whitespace fields times
+// the BPE expansion factor observed on entity-matching text.
+func PromptTokens(prompt string) int {
+	return int(float64(len(strings.Fields(prompt))) * 1.3)
+}

@@ -1,0 +1,101 @@
+package matchers
+
+import (
+	"fmt"
+
+	"repro/internal/record"
+	"repro/internal/stats"
+	"repro/internal/textsim"
+)
+
+// Cascade is the hybrid matcher suggested by the paper's Finding 1
+// ("potential for developing hybrid methods that combine efficient,
+// parameter-free matchers with other techniques"): a cheap similarity
+// stage decides the easy pairs — clear matches above the high band, clear
+// non-matches below the low band — and only the uncertain middle band is
+// escalated to an expensive matcher. Because candidate sets are dominated
+// by clear non-matches, most of the expensive model's token bill
+// disappears while quality tracks the expensive matcher.
+type Cascade struct {
+	// Expensive is the matcher consulted for uncertain pairs.
+	Expensive Matcher
+	// LowBand and HighBand bound the escalation region of the cheap score:
+	// below LowBand → non-match, above HighBand → match, otherwise
+	// escalate.
+	LowBand, HighBand float64
+
+	// Escalated reports, after Predict, how many pairs reached the
+	// expensive stage (the cost-model input).
+	Escalated int
+	// Total reports the total pairs of the last Predict.
+	Total int
+}
+
+// NewCascade returns a cascade over the given expensive matcher with the
+// default bands (tuned so that clear non-matches in blocked candidate
+// sets short-circuit).
+func NewCascade(expensive Matcher) *Cascade {
+	return &Cascade{Expensive: expensive, LowBand: 0.18, HighBand: 0.82}
+}
+
+// Name implements Matcher.
+func (m *Cascade) Name() string {
+	return fmt.Sprintf("Cascade [StringSim -> %s]", m.Expensive.Name())
+}
+
+// ParamsMillions implements Matcher (the expensive stage dominates).
+func (m *Cascade) ParamsMillions() float64 { return m.Expensive.ParamsMillions() }
+
+// Train implements Matcher: the cheap stage is parameter-free, training
+// passes through to the expensive stage.
+func (m *Cascade) Train(transfer []*record.Dataset, rng *stats.RNG) {
+	m.Expensive.Train(transfer, rng)
+}
+
+// cheapScore is the stage-1 scorer: an unweighted blend of token and
+// character overlap of the serialized records — cheap enough to run at
+// StringSim cost.
+func cheapScore(p record.Pair, opts record.SerializeOptions) float64 {
+	left := record.SerializeRecord(p.Left, opts)
+	right := record.SerializeRecord(p.Right, opts)
+	return 0.5*textsim.TokenJaccard(left, right) + 0.5*textsim.QGramJaccard(left, right)
+}
+
+// Predict implements Matcher.
+func (m *Cascade) Predict(task Task) []bool {
+	out := make([]bool, len(task.Pairs))
+	var uncertainIdx []int
+	var uncertainPairs []record.Pair
+	for i, p := range task.Pairs {
+		s := cheapScore(p, task.Opts)
+		switch {
+		case s < m.LowBand:
+			out[i] = false
+		case s > m.HighBand:
+			out[i] = true
+		default:
+			uncertainIdx = append(uncertainIdx, i)
+			uncertainPairs = append(uncertainPairs, p)
+		}
+	}
+	m.Total = len(task.Pairs)
+	m.Escalated = len(uncertainPairs)
+	if len(uncertainPairs) > 0 {
+		sub := task
+		sub.Pairs = uncertainPairs
+		preds := m.Expensive.Predict(sub)
+		for k, i := range uncertainIdx {
+			out[i] = preds[k]
+		}
+	}
+	return out
+}
+
+// EscalationRate returns the fraction of the last batch that reached the
+// expensive stage.
+func (m *Cascade) EscalationRate() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return float64(m.Escalated) / float64(m.Total)
+}

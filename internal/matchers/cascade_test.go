@@ -1,0 +1,82 @@
+package matchers
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lm"
+	"repro/internal/record"
+	"repro/internal/stats"
+)
+
+// countingMatcher records how many pairs it was asked to score.
+type countingMatcher struct {
+	calls int
+	inner Matcher
+}
+
+func (m *countingMatcher) Name() string            { return "counting" }
+func (m *countingMatcher) ParamsMillions() float64 { return 1 }
+func (m *countingMatcher) Train(transfer []*record.Dataset, rng *stats.RNG) {
+	m.inner.Train(transfer, rng)
+}
+func (m *countingMatcher) Predict(task Task) []bool {
+	m.calls += len(task.Pairs)
+	return m.inner.Predict(task)
+}
+
+func TestCascadeEscalatesOnlyUncertain(t *testing.T) {
+	task, labels := miniTask(t, "WAAM", 300)
+	counter := &countingMatcher{inner: NewMatchGPT(lm.GPT4)}
+	m := NewCascade(counter)
+	m.Train(transferFor("WAAM"), stats.NewRNG(1))
+	preds := m.Predict(task)
+
+	if m.Total != len(task.Pairs) {
+		t.Fatalf("Total = %d", m.Total)
+	}
+	if m.Escalated != counter.calls {
+		t.Fatalf("Escalated %d but expensive matcher saw %d", m.Escalated, counter.calls)
+	}
+	if m.EscalationRate() >= 1.0 {
+		t.Fatal("cascade escalated everything — bands have no effect")
+	}
+	if acc := accuracy(preds, labels); acc < 0.75 {
+		t.Fatalf("cascade accuracy %.3f", acc)
+	}
+}
+
+func TestCascadeShortCircuitsExtremes(t *testing.T) {
+	counter := &countingMatcher{inner: NewStringSim()}
+	m := NewCascade(counter)
+	identical := record.Record{Values: []string{"golden dragon palace", "main street"}}
+	disjoint := record.Record{Values: []string{"zzz qqq xxx", "yyy www"}}
+	task := Task{Pairs: []record.Pair{
+		{Left: identical, Right: identical},
+		{Left: identical, Right: disjoint},
+	}}
+	preds := m.Predict(task)
+	if counter.calls != 0 {
+		t.Fatalf("extreme pairs escalated: %d", counter.calls)
+	}
+	if !preds[0] || preds[1] {
+		t.Fatalf("short-circuit decisions wrong: %v", preds)
+	}
+}
+
+func TestCascadeName(t *testing.T) {
+	m := NewCascade(NewMatchGPT(lm.GPT4))
+	if !strings.Contains(m.Name(), "Cascade") || !strings.Contains(m.Name(), "GPT-4") {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}
+
+func TestCascadeEmptyBatch(t *testing.T) {
+	m := NewCascade(NewStringSim())
+	if got := m.Predict(Task{}); len(got) != 0 {
+		t.Fatal("empty batch should yield no predictions")
+	}
+	if m.EscalationRate() != 0 {
+		t.Fatal("empty batch escalation rate should be 0")
+	}
+}

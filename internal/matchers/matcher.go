@@ -1,0 +1,60 @@
+// Package matchers implements the eight entity-matching approaches of the
+// study behind a single Matcher interface: the parameter-free StringSim and
+// ZeroER, the fine-tuned small-language-model matchers Ditto, Unicorn and
+// AnyMatch (three base models), and the prompted large-language-model
+// matchers Jellyfish and MatchGPT (six models, three demonstration
+// strategies).
+//
+// All matchers operate under the paper's cross-dataset restrictions: they
+// never see labeled pairs or schema information from the target dataset.
+// The one documented exception is ZeroER, which requires column types to
+// select similarity functions and therefore — as the paper notes —
+// partially violates restriction 2; the Task struct carries the schema for
+// that single consumer.
+package matchers
+
+import (
+	"repro/internal/record"
+	"repro/internal/stats"
+)
+
+// Task is one prediction request: the unlabeled test pairs of the target
+// dataset plus the serialization options for this run.
+type Task struct {
+	// Pairs are the candidate pairs to classify.
+	Pairs []record.Pair
+	// Opts controls serialization (column order varies per seed).
+	Opts record.SerializeOptions
+	// Schema is the target schema. Only ZeroER reads it (documented
+	// restriction-2 violation); every other matcher must ignore it.
+	Schema record.Schema
+	// TargetName identifies the target dataset; used only by matchers with
+	// disclosed training contamination (Jellyfish) to reproduce the
+	// paper's bracketed scores.
+	TargetName string
+}
+
+// Matcher is a cross-dataset entity matcher.
+type Matcher interface {
+	// Name returns the matcher name as used in the paper's tables,
+	// e.g. "AnyMatch [LLaMA3.2]".
+	Name() string
+	// ParamsMillions returns the parameter count of the underlying model
+	// in millions, or 0 for parameter-free methods.
+	ParamsMillions() float64
+	// Train prepares the matcher with transfer-learning datasets (the ten
+	// datasets other than the target under leave-one-dataset-out). The rng
+	// seeds model initialisation, data selection and training shuffles.
+	// Parameter-free and prompted matchers may use the transfer data for
+	// demonstration selection only, or not at all.
+	Train(transfer []*record.Dataset, rng *stats.RNG)
+	// Predict classifies the task's pairs. ZeroER is batch-only, so the
+	// interface is batch-shaped; per-pair matchers simply loop.
+	Predict(task Task) []bool
+}
+
+// shuffledOrder returns a column permutation for serialization, derived
+// from the run RNG — the paper's per-seed serialization variation.
+func ShuffledOrder(numAttrs int, rng *stats.RNG) []int {
+	return rng.Perm(numAttrs)
+}

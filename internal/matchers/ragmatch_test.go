@@ -1,0 +1,82 @@
+package matchers
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lm"
+	"repro/internal/stats"
+)
+
+func TestRAGMatcherMetadata(t *testing.T) {
+	m := NewMatchGPTRAG(lm.GPT4)
+	if !strings.Contains(m.Name(), "RAG") || !strings.Contains(m.Name(), "GPT-4") {
+		t.Fatalf("Name = %q", m.Name())
+	}
+	if m.ParamsMillions() != lm.GPT4.ParamsMillions {
+		t.Fatal("params mismatch")
+	}
+}
+
+func TestRAGIndexBalanced(t *testing.T) {
+	m := NewMatchGPTRAG(lm.GPT4)
+	m.IndexCap = 400
+	m.Train(transferFor("FOZA"), stats.NewRNG(1))
+	if len(m.index) == 0 {
+		t.Fatal("empty retrieval index")
+	}
+	pos := 0
+	for _, e := range m.index {
+		if e.demo.Pair.Match {
+			pos++
+		}
+		if e.demo.Dataset == "FOZA" {
+			t.Fatal("index contains target-dataset pairs")
+		}
+	}
+	frac := float64(pos) / float64(len(m.index))
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("index positive fraction %.2f, want balanced", frac)
+	}
+}
+
+func TestRAGRetrieveKNearest(t *testing.T) {
+	m := NewMatchGPTRAG(lm.GPT4)
+	m.K = 2
+	m.IndexCap = 200
+	m.Train(transferFor("ZOYE"), stats.NewRNG(2))
+	demos := m.retrieve([]float64{0.8, 0.7, 0.9, 0.5})
+	if len(demos) != 2 {
+		t.Fatalf("retrieved %d demos, want 2", len(demos))
+	}
+	for _, d := range demos {
+		if d.Relevance <= 0 || d.Relevance > 1 {
+			t.Fatalf("relevance %v out of range", d.Relevance)
+		}
+	}
+	// Retrieval without an index degrades gracefully.
+	empty := NewMatchGPTRAG(lm.GPT4)
+	if got := empty.retrieve([]float64{0.5}); got != nil {
+		t.Fatal("empty index should retrieve nothing")
+	}
+}
+
+func TestRAGPredictQuality(t *testing.T) {
+	task, labels := miniTask(t, "FOZA", 200)
+	m := NewMatchGPTRAG(lm.GPT4)
+	m.IndexCap = 600
+	m.Train(transferFor("FOZA"), stats.NewRNG(1))
+	preds := m.Predict(task)
+	if acc := accuracy(preds, labels); acc < 0.8 {
+		t.Fatalf("RAG matcher accuracy %.3f on FOZA mini-batch", acc)
+	}
+}
+
+func TestSigDistance(t *testing.T) {
+	if d := sigDistance([]float64{0, 0}, []float64{3, 4}); d != 5 {
+		t.Fatalf("distance = %v, want 5", d)
+	}
+	if d := sigDistance([]float64{1}, []float64{1, 99}); d != 0 {
+		t.Fatalf("length-mismatch distance over shared prefix = %v", d)
+	}
+}

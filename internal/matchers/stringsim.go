@@ -1,0 +1,42 @@
+package matchers
+
+import (
+	"repro/internal/record"
+	"repro/internal/stats"
+	"repro/internal/textsim"
+)
+
+// StringSim is the trivial parameter-free baseline from the paper: it
+// serialises both tuples by casting each column to a string, joining with
+// a comma separator, and predicts a match when the Ratcliff/Obershelp
+// similarity of the two serialisations exceeds 0.5 (Python difflib's
+// SequenceMatcher ratio).
+type StringSim struct {
+	// Threshold is the decision threshold; the paper uses 0.5.
+	Threshold float64
+}
+
+// NewStringSim returns the baseline with the paper's 0.5 threshold.
+func NewStringSim() *StringSim {
+	return &StringSim{Threshold: 0.5}
+}
+
+// Name implements Matcher.
+func (m *StringSim) Name() string { return "StringSim" }
+
+// ParamsMillions implements Matcher; StringSim is parameter-free.
+func (m *StringSim) ParamsMillions() float64 { return 0 }
+
+// Train implements Matcher; StringSim needs no transfer data.
+func (m *StringSim) Train(transfer []*record.Dataset, rng *stats.RNG) {}
+
+// Predict implements Matcher.
+func (m *StringSim) Predict(task Task) []bool {
+	out := make([]bool, len(task.Pairs))
+	for i, p := range task.Pairs {
+		left := record.SerializeRecord(p.Left, task.Opts)
+		right := record.SerializeRecord(p.Right, task.Opts)
+		out[i] = textsim.RatcliffObershelp(left, right) > m.Threshold
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package mlcore
+
+import "hash/fnv"
+
+// Hasher maps textual features into a fixed-width index space (the
+// "hashing trick"). It is the stand-in for a pretrained embedding table:
+// wider spaces collide less and therefore encode more distinctions, which
+// is how the study maps language-model scale to encoder capacity.
+type Hasher struct {
+	width int
+}
+
+// NewHasher returns a hasher over a space of the given width (number of
+// buckets). Width must be positive.
+func NewHasher(width int) *Hasher {
+	if width <= 0 {
+		panic("mlcore: NewHasher with non-positive width")
+	}
+	return &Hasher{width: width}
+}
+
+// Width returns the number of buckets.
+func (h *Hasher) Width() int { return h.width }
+
+// Index maps a feature name to a bucket in [0, width).
+func (h *Hasher) Index(feature string) int {
+	f := fnv.New64a()
+	f.Write([]byte(feature))
+	return int(f.Sum64() % uint64(h.width))
+}
+
+// Sign returns a deterministic ±1 for a feature, used for signed hashing to
+// make collisions cancel in expectation rather than accumulate.
+func (h *Hasher) Sign(feature string) float64 {
+	f := fnv.New64a()
+	f.Write([]byte(feature))
+	f.Write([]byte{0x5a})
+	if f.Sum64()&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// AddFeature hashes a feature into vec with a signed weight.
+func (h *Hasher) AddFeature(vec *SparseVec, feature string, weight float64) {
+	vec.Add(h.Index(feature), weight*h.Sign(feature))
+}

@@ -1,0 +1,282 @@
+// Package report renders the study's tables and figures as plain text, in
+// the layout of the paper: per-dataset columns with mean±std cells for the
+// quality tables, aligned numeric columns for the throughput and cost
+// tables, and ASCII scatter plots for the two figures.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Cell is one mean±std entry of a quality table.
+type Cell struct {
+	Mean float64
+	Std  float64
+	// Bracketed marks scores from contaminated (seen-during-training)
+	// configurations, printed in brackets as in the paper.
+	Bracketed bool
+	// Bold marks the best score of a column, Underline the second-best.
+	Bold, Underline bool
+}
+
+// Format renders the cell like the paper: "87.5 ±1.0", decorated.
+func (c Cell) Format() string {
+	s := fmt.Sprintf("%.1f ±%.1f", c.Mean, c.Std)
+	if c.Bracketed {
+		s = "(" + s + ")"
+	}
+	if c.Bold {
+		s = "*" + s + "*"
+	}
+	if c.Underline {
+		s = "_" + s + "_"
+	}
+	return s
+}
+
+// QualityTable is a matcher × dataset results table (Tables 3 and 4).
+type QualityTable struct {
+	Title   string
+	Columns []string // dataset codes + "Mean"
+	Rows    []QualityRow
+}
+
+// QualityRow is one matcher's results.
+type QualityRow struct {
+	Label  string
+	Params string // parameter count in millions, rendered
+	Cells  []Cell
+}
+
+// MarkBest sets Bold on the best and Underline on the second-best cell of
+// every column, ignoring bracketed (contaminated) entries, as in Table 3.
+func (t *QualityTable) MarkBest() {
+	for col := range t.Columns {
+		bestIdx, secondIdx := -1, -1
+		var best, second float64
+		for i := range t.Rows {
+			if col >= len(t.Rows[i].Cells) || t.Rows[i].Cells[col].Bracketed {
+				continue
+			}
+			m := t.Rows[i].Cells[col].Mean
+			switch {
+			case bestIdx < 0 || m > best:
+				secondIdx, second = bestIdx, best
+				bestIdx, best = i, m
+			case secondIdx < 0 || m > second:
+				secondIdx, second = i, m
+			}
+		}
+		if bestIdx >= 0 {
+			t.Rows[bestIdx].Cells[col].Bold = true
+		}
+		if secondIdx >= 0 {
+			t.Rows[secondIdx].Cells[col].Underline = true
+		}
+	}
+}
+
+// Render draws the table with aligned columns.
+func (t *QualityTable) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n\n", t.Title)
+	}
+	// Compute column widths.
+	labelW, paramsW := len("Matcher"), len("#params(M)")
+	for _, r := range t.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+		if len(r.Params) > paramsW {
+			paramsW = len(r.Params)
+		}
+	}
+	colW := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		colW[i] = len(c)
+		for _, r := range t.Rows {
+			if i < len(r.Cells) {
+				if w := len(r.Cells[i].Format()); w > colW[i] {
+					colW[i] = w
+				}
+			}
+		}
+	}
+	// Header.
+	fmt.Fprintf(&b, "%-*s  %*s", labelW, "Matcher", paramsW, "#params(M)")
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "  %*s", colW[i], c)
+	}
+	b.WriteByte('\n')
+	total := labelW + 2 + paramsW
+	for _, w := range colW {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	// Rows.
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s  %*s", labelW, r.Label, paramsW, r.Params)
+		for i := range t.Columns {
+			cell := ""
+			if i < len(r.Cells) {
+				cell = r.Cells[i].Format()
+			}
+			fmt.Fprintf(&b, "  %*s", colW[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SimpleTable renders a generic header + rows table with aligned columns.
+func SimpleTable(title string, header []string, rows [][]string) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n\n", title)
+	}
+	w := make([]int, len(header))
+	for i, h := range header {
+		w[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(w) && len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	for i, h := range header {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", w[i], h)
+	}
+	b.WriteByte('\n')
+	total := 0
+	for _, x := range w {
+		total += x + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ScatterPoint is one labeled point of an ASCII scatter plot.
+type ScatterPoint struct {
+	X, Y  float64
+	Label string
+}
+
+// Scatter renders an ASCII scatter plot with a log-scaled X axis when
+// logX is set (both figures in the paper use log axes for cost / size).
+func Scatter(title, xLabel, yLabel string, points []ScatterPoint, logX bool) string {
+	const width, height = 72, 22
+	if len(points) == 0 {
+		return title + "\n(no data)\n"
+	}
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, p := range points {
+		xs[i] = p.X
+		if logX {
+			xs[i] = math.Log10(p.X)
+		}
+		ys[i] = p.Y
+	}
+	minX, maxX := minMax(xs)
+	minY, maxY := minMax(ys)
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// Pad the ranges slightly so edge points stay visible.
+	padX, padY := (maxX-minX)*0.05, (maxY-minY)*0.08
+	minX, maxX = minX-padX, maxX+padX
+	minY, maxY = minY-padY, maxY+padY
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	type placed struct{ row, col int }
+	var marks []placed
+	for i := range points {
+		col := int((xs[i] - minX) / (maxX - minX) * float64(width-1))
+		row := height - 1 - int((ys[i]-minY)/(maxY-minY)*float64(height-1))
+		grid[row][col] = '*'
+		marks = append(marks, placed{row, col})
+	}
+	// Attach labels next to marks where space allows.
+	for i, p := range points {
+		m := marks[i]
+		label := " " + p.Label
+		col := m.col + 1
+		if col+len(label) >= width {
+			col = m.col - len(label) - 1
+			label = p.Label + " "
+			if col < 0 {
+				continue
+			}
+		}
+		copy(grid[m.row][col:], label)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", title)
+	for r, line := range grid {
+		y := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%7.1f |%s\n", y, strings.TrimRight(string(line), " "))
+	}
+	b.WriteString("        +" + strings.Repeat("-", width) + "\n")
+	left := fmt.Sprintf("%.3g", unlog(minX, logX))
+	right := fmt.Sprintf("%.3g", unlog(maxX, logX))
+	axis := left + strings.Repeat(" ", width-len(left)-len(right)) + right
+	fmt.Fprintf(&b, "         %s\n", axis)
+	scale := ""
+	if logX {
+		scale = " (log scale)"
+	}
+	fmt.Fprintf(&b, "         x: %s%s, y: %s\n", xLabel, scale, yLabel)
+	return b.String()
+}
+
+func unlog(x float64, logX bool) float64 {
+	if logX {
+		return math.Pow(10, x)
+	}
+	return x
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// SortPointsByX sorts scatter points by X for stable rendering.
+func SortPointsByX(points []ScatterPoint) {
+	sort.Slice(points, func(i, j int) bool { return points[i].X < points[j].X })
+}

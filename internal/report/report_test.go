@@ -1,0 +1,122 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCellFormat(t *testing.T) {
+	c := Cell{Mean: 87.54, Std: 1.02}
+	if got := c.Format(); got != "87.5 ±1.0" {
+		t.Fatalf("Format = %q", got)
+	}
+	c.Bracketed = true
+	if got := c.Format(); got != "(87.5 ±1.0)" {
+		t.Fatalf("bracketed = %q", got)
+	}
+	c.Bracketed = false
+	c.Bold = true
+	if got := c.Format(); got != "*87.5 ±1.0*" {
+		t.Fatalf("bold = %q", got)
+	}
+}
+
+func sampleTable() *QualityTable {
+	return &QualityTable{
+		Title:   "Test table",
+		Columns: []string{"A", "B", "Mean"},
+		Rows: []QualityRow{
+			{Label: "m1", Params: "100", Cells: []Cell{{Mean: 80}, {Mean: 60}, {Mean: 70}}},
+			{Label: "m2", Params: "200", Cells: []Cell{{Mean: 90}, {Mean: 50}, {Mean: 70}}},
+			{Label: "m3", Params: "-", Cells: []Cell{{Mean: 85, Bracketed: true}, {Mean: 70}, {Mean: 77}}},
+		},
+	}
+}
+
+func TestMarkBest(t *testing.T) {
+	tab := sampleTable()
+	tab.MarkBest()
+	// Column A: best m2 (90), second m1 (80) — m3 is bracketed and skipped.
+	if !tab.Rows[1].Cells[0].Bold {
+		t.Error("m2 should be bold in column A")
+	}
+	if !tab.Rows[0].Cells[0].Underline {
+		t.Error("m1 should be underlined in column A")
+	}
+	if tab.Rows[2].Cells[0].Bold || tab.Rows[2].Cells[0].Underline {
+		t.Error("bracketed cell must not be marked")
+	}
+	// Column B: best m3 (70), second m1 (60).
+	if !tab.Rows[2].Cells[1].Bold || !tab.Rows[0].Cells[1].Underline {
+		t.Error("column B marking wrong")
+	}
+}
+
+func TestQualityTableRender(t *testing.T) {
+	tab := sampleTable()
+	out := tab.Render()
+	for _, want := range []string{"Test table", "Matcher", "#params(M)", "m1", "m2", "m3", "A", "B", "Mean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// All rows aligned: every line after the separator has the same prefix
+	// structure (labels padded to equal width).
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("render too short:\n%s", out)
+	}
+}
+
+func TestSimpleTable(t *testing.T) {
+	out := SimpleTable("Title", []string{"Col1", "LongColumn2"}, [][]string{
+		{"a", "b"},
+		{"longer-value", "c"},
+	})
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "longer-value") {
+		t.Fatalf("SimpleTable output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + separator + 2 rows (+ title and blank line).
+	if len(lines) != 6 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestScatterContainsPointsAndLabels(t *testing.T) {
+	points := []ScatterPoint{
+		{X: 0.001, Y: 70, Label: "cheap"},
+		{X: 10, Y: 90, Label: "pricey"},
+	}
+	out := Scatter("Fig", "cost", "f1", points, true)
+	if !strings.Contains(out, "*") {
+		t.Fatal("no marks in scatter")
+	}
+	for _, l := range []string{"cheap", "pricey", "cost", "f1", "log scale"} {
+		if !strings.Contains(out, l) {
+			t.Errorf("scatter missing %q", l)
+		}
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	out := Scatter("Fig", "x", "y", nil, false)
+	if !strings.Contains(out, "no data") {
+		t.Fatal("empty scatter should say so")
+	}
+}
+
+func TestScatterSinglePoint(t *testing.T) {
+	out := Scatter("Fig", "x", "y", []ScatterPoint{{X: 5, Y: 5, Label: "solo"}}, false)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "solo") {
+		t.Fatalf("single-point scatter broken:\n%s", out)
+	}
+}
+
+func TestSortPointsByX(t *testing.T) {
+	pts := []ScatterPoint{{X: 3}, {X: 1}, {X: 2}}
+	SortPointsByX(pts)
+	if pts[0].X != 1 || pts[1].X != 2 || pts[2].X != 3 {
+		t.Fatalf("sort wrong: %+v", pts)
+	}
+}

@@ -1,0 +1,123 @@
+package stats
+
+import "math"
+
+// TTestResult holds the outcome of a Welch two-sample t-test.
+type TTestResult struct {
+	T  float64 // t statistic
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// Significant reports whether the test rejects the null hypothesis of equal
+// means at significance level alpha.
+func (r TTestResult) Significant(alpha float64) bool {
+	return r.P < alpha
+}
+
+// WelchTTest performs Welch's unequal-variances two-sample t-test between
+// xs and ys. The paper uses this test in Finding 5 to check whether
+// datasets sharing a domain with a transfer dataset score higher than
+// datasets that do not; the hypothesis is rejected.
+//
+// Both samples need at least two observations.
+func WelchTTest(xs, ys []float64) TTestResult {
+	if len(xs) < 2 || len(ys) < 2 {
+		panic("stats: WelchTTest needs at least two observations per sample")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	vx, vy := Variance(xs), Variance(ys)
+	nx, ny := float64(len(xs)), float64(len(ys))
+
+	sx, sy := vx/nx, vy/ny
+	se := math.Sqrt(sx + sy)
+	if se == 0 {
+		// Identical constant samples: no evidence against the null.
+		return TTestResult{T: 0, DF: nx + ny - 2, P: 1}
+	}
+	t := (mx - my) / se
+	df := (sx + sy) * (sx + sy) / (sx*sx/(nx-1) + sy*sy/(ny-1))
+	p := 2 * studentTCDFUpper(math.Abs(t), df)
+	return TTestResult{T: t, DF: df, P: Clamp(p, 0, 1)}
+}
+
+// studentTCDFUpper returns P(T > t) for Student's t distribution with df
+// degrees of freedom, via the regularised incomplete beta function.
+func studentTCDFUpper(t, df float64) float64 {
+	if t <= 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularised incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes style, Lentz's
+// algorithm), accurate to ~1e-12 for the parameter ranges used here.
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 1e-14
+		tiny    = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := 2 * m
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + float64(m2)) * (a + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + float64(m2)) * (qap + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWelchTTestIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	res := WelchTTest(xs, xs)
+	if math.Abs(res.T) > 1e-12 {
+		t.Fatalf("identical samples t = %v, want 0", res.T)
+	}
+	if res.P < 0.99 {
+		t.Fatalf("identical samples p = %v, want ~1", res.P)
+	}
+}
+
+func TestWelchTTestConstantSamples(t *testing.T) {
+	res := WelchTTest([]float64{2, 2, 2}, []float64{2, 2, 2})
+	if res.P != 1 || res.T != 0 {
+		t.Fatalf("constant equal samples: t=%v p=%v", res.T, res.P)
+	}
+}
+
+func TestWelchTTestClearDifference(t *testing.T) {
+	a := []float64{10.1, 10.2, 9.9, 10.0, 10.1, 9.8, 10.2, 9.9}
+	b := []float64{5.0, 5.1, 4.9, 5.2, 5.0, 4.8, 5.1, 5.0}
+	res := WelchTTest(a, b)
+	if !res.Significant(0.001) {
+		t.Fatalf("clearly different means not significant: t=%v p=%v", res.T, res.P)
+	}
+	if res.T <= 0 {
+		t.Fatalf("t should be positive for mean(a) > mean(b): %v", res.T)
+	}
+}
+
+func TestWelchTTestFormulaConsistency(t *testing.T) {
+	// Verify the t statistic and Welch–Satterthwaite df against a direct
+	// evaluation of their defining formulas on arbitrary data.
+	a := []float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6}
+	b := []float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0}
+	res := WelchTTest(a, b)
+
+	sa := Variance(a) / float64(len(a))
+	sb := Variance(b) / float64(len(b))
+	wantT := (Mean(a) - Mean(b)) / math.Sqrt(sa+sb)
+	wantDF := (sa + sb) * (sa + sb) /
+		(sa*sa/float64(len(a)-1) + sb*sb/float64(len(b)-1))
+	if math.Abs(res.T-wantT) > 1e-12 {
+		t.Errorf("t = %v, want %v", res.T, wantT)
+	}
+	if math.Abs(res.DF-wantDF) > 1e-9 {
+		t.Errorf("df = %v, want %v", res.DF, wantDF)
+	}
+	// And the p-value must equal the two-sided tail at that t and df.
+	wantP := 2 * studentTCDFUpper(math.Abs(wantT), wantDF)
+	if math.Abs(res.P-wantP) > 1e-12 {
+		t.Errorf("p = %v, want %v", res.P, wantP)
+	}
+}
+
+func TestWelchTTestAntisymmetric(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 3, 4, 7}
+	r1 := WelchTTest(a, b)
+	r2 := WelchTTest(b, a)
+	if math.Abs(r1.T+r2.T) > 1e-12 {
+		t.Fatalf("t not antisymmetric: %v vs %v", r1.T, r2.T)
+	}
+	if math.Abs(r1.P-r2.P) > 1e-12 {
+		t.Fatalf("p not symmetric: %v vs %v", r1.P, r2.P)
+	}
+}
+
+func TestWelchTTestPanicsOnTinySamples(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for single-observation sample")
+		}
+	}()
+	WelchTTest([]float64{1}, []float64{1, 2})
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Fatal("incomplete beta boundary values wrong")
+	}
+	// I_0.5(a, a) = 0.5 by symmetry.
+	for _, a := range []float64{0.5, 1, 2, 5, 10} {
+		if got := regIncBeta(a, a, 0.5); math.Abs(got-0.5) > 1e-9 {
+			t.Errorf("I_0.5(%v,%v) = %v, want 0.5", a, a, got)
+		}
+	}
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	// P(T > 2.086) with 20 df ≈ 0.025 (the classic 95% two-sided quantile).
+	if got := studentTCDFUpper(2.086, 20); math.Abs(got-0.025) > 0.001 {
+		t.Errorf("upper tail at 2.086 (df 20) = %v, want ≈ 0.025", got)
+	}
+	if got := studentTCDFUpper(0, 10); got != 0.5 {
+		t.Errorf("upper tail at 0 = %v, want 0.5", got)
+	}
+}

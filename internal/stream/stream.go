@@ -1,0 +1,232 @@
+// Package stream implements incremental entity matching for continuously
+// arriving records — the operating mode of the paper's data-lake ingestion
+// use case (§2.1), where "hundreds of such pipelines run in production"
+// and each new record must be checked against everything already ingested
+// without re-blocking the whole corpus.
+//
+// The Ingestor maintains an incremental rare-token inverted index; each
+// arriving record retrieves its candidates, has them scored by any
+// per-pair matcher, and is either merged into an existing entity or
+// registered as a new one.
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/record"
+	"repro/internal/textsim"
+)
+
+// PairScorer scores one candidate pair; implementations wrap any per-pair
+// matcher (the crossem.PairMatcher, a trained head, a similarity rule).
+type PairScorer interface {
+	// ScorePair returns the match probability for (a, b).
+	ScorePair(a, b record.Record) float64
+}
+
+// ScorerFunc adapts a function to PairScorer.
+type ScorerFunc func(a, b record.Record) float64
+
+// ScorePair implements PairScorer.
+func (f ScorerFunc) ScorePair(a, b record.Record) float64 { return f(a, b) }
+
+// Config tunes the ingestor.
+type Config struct {
+	// MatchThreshold is the probability above which an arriving record
+	// merges into an existing entity.
+	MatchThreshold float64
+	// MaxCandidates bounds how many indexed records are scored per
+	// arrival.
+	MaxCandidates int
+	// MinSharedTokens is the minimum number of shared index tokens for a
+	// candidate to be scored at all.
+	MinSharedTokens int
+	// MaxIndexedPerToken caps a token's posting list; hotter tokens stop
+	// indexing new postings (they no longer discriminate).
+	MaxIndexedPerToken int
+}
+
+// DefaultConfig returns ingestion defaults tuned for product-style feeds.
+func DefaultConfig() Config {
+	return Config{
+		MatchThreshold:     0.5,
+		MaxCandidates:      20,
+		MinSharedTokens:    1,
+		MaxIndexedPerToken: 256,
+	}
+}
+
+// Entity is one resolved entity in the ingestor's state.
+type Entity struct {
+	// ID is the entity identifier (the first member's record ID).
+	ID string
+	// Records holds the member records in arrival order.
+	Records []record.Record
+}
+
+// Arrival reports what happened to one ingested record.
+type Arrival struct {
+	// RecordID is the ingested record.
+	RecordID string
+	// EntityID is the entity the record now belongs to.
+	EntityID string
+	// MergedInto reports whether the record joined an existing entity
+	// (false = it founded a new one).
+	MergedInto bool
+	// Score is the best candidate score observed.
+	Score float64
+	// CandidatesScored is how many candidates the scorer saw.
+	CandidatesScored int
+}
+
+// Ingestor is the incremental matcher state. Not safe for concurrent use;
+// wrap with a mutex for multi-goroutine feeds.
+type Ingestor struct {
+	cfg    Config
+	scorer PairScorer
+
+	index    map[string][]int // token -> record indices
+	records  []record.Record
+	entityOf []int // record index -> entity index
+	entities []*Entity
+	arrivals int
+}
+
+// NewIngestor returns an empty ingestor over the given scorer.
+func NewIngestor(scorer PairScorer, cfg Config) *Ingestor {
+	if cfg.MatchThreshold <= 0 {
+		cfg.MatchThreshold = DefaultConfig().MatchThreshold
+	}
+	if cfg.MaxCandidates <= 0 {
+		cfg.MaxCandidates = DefaultConfig().MaxCandidates
+	}
+	if cfg.MaxIndexedPerToken <= 0 {
+		cfg.MaxIndexedPerToken = DefaultConfig().MaxIndexedPerToken
+	}
+	return &Ingestor{
+		cfg:    cfg,
+		scorer: scorer,
+		index:  make(map[string][]int),
+	}
+}
+
+// Ingest processes one arriving record: candidate retrieval, scoring, and
+// merge-or-create.
+func (g *Ingestor) Ingest(r record.Record) Arrival {
+	g.arrivals++
+	if r.ID == "" {
+		r.ID = fmt.Sprintf("stream-%d", g.arrivals)
+	}
+	toks := indexTokens(r)
+
+	// Retrieve candidates by shared-token count.
+	counts := make(map[int]int)
+	for _, t := range toks {
+		for _, idx := range g.index[t] {
+			counts[idx]++
+		}
+	}
+	type cand struct {
+		idx    int
+		shared int
+	}
+	var cands []cand
+	for idx, n := range counts {
+		if n >= g.cfg.MinSharedTokens {
+			cands = append(cands, cand{idx, n})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].shared != cands[b].shared {
+			return cands[a].shared > cands[b].shared
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	if len(cands) > g.cfg.MaxCandidates {
+		cands = cands[:g.cfg.MaxCandidates]
+	}
+
+	// Score candidates; best match wins.
+	arrival := Arrival{RecordID: r.ID, CandidatesScored: len(cands)}
+	bestEntity := -1
+	for _, c := range cands {
+		score := g.scorer.ScorePair(g.records[c.idx], r)
+		if score > arrival.Score {
+			arrival.Score = score
+			if score >= g.cfg.MatchThreshold {
+				bestEntity = g.entityOf[c.idx]
+			}
+		}
+	}
+
+	// Register the record.
+	recIdx := len(g.records)
+	g.records = append(g.records, r)
+	for _, t := range toks {
+		if len(g.index[t]) < g.cfg.MaxIndexedPerToken {
+			g.index[t] = append(g.index[t], recIdx)
+		}
+	}
+
+	if bestEntity >= 0 {
+		g.entities[bestEntity].Records = append(g.entities[bestEntity].Records, r)
+		g.entityOf = append(g.entityOf, bestEntity)
+		arrival.MergedInto = true
+		arrival.EntityID = g.entities[bestEntity].ID
+		return arrival
+	}
+	e := &Entity{ID: r.ID, Records: []record.Record{r}}
+	g.entities = append(g.entities, e)
+	g.entityOf = append(g.entityOf, len(g.entities)-1)
+	arrival.EntityID = e.ID
+	return arrival
+}
+
+// Entities returns the current entity state (largest first).
+func (g *Ingestor) Entities() []*Entity {
+	out := append([]*Entity(nil), g.entities...)
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Records) != len(out[j].Records) {
+			return len(out[i].Records) > len(out[j].Records)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Stats summarises the ingestor state.
+type Stats struct {
+	Records   int
+	Entities  int
+	Merged    int // records that joined an existing entity
+	IndexKeys int
+}
+
+// Stats returns the current counters.
+func (g *Ingestor) Stats() Stats {
+	return Stats{
+		Records:   len(g.records),
+		Entities:  len(g.entities),
+		Merged:    len(g.records) - len(g.entities),
+		IndexKeys: len(g.index),
+	}
+}
+
+// indexTokens selects the tokens worth indexing for a record: deduplicated
+// word tokens of the serialized values, skipping single characters.
+func indexTokens(r record.Record) []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, t := range textsim.Tokens(record.SerializeRecord(r, record.SerializeOptions{})) {
+		if len(t) < 2 {
+			continue
+		}
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}

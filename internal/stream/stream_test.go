@@ -1,0 +1,121 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/record"
+	"repro/internal/textsim"
+)
+
+// jaccardScorer is a simple deterministic scorer for tests.
+var jaccardScorer = ScorerFunc(func(a, b record.Record) float64 {
+	return textsim.TokenJaccard(
+		record.SerializeRecord(a, record.SerializeOptions{}),
+		record.SerializeRecord(b, record.SerializeOptions{}),
+	)
+})
+
+func TestIngestMergesDuplicates(t *testing.T) {
+	g := NewIngestor(jaccardScorer, DefaultConfig())
+	a := record.Record{ID: "a", Values: []string{"golden dragon palace restaurant", "main street"}}
+	dup := record.Record{ID: "a2", Values: []string{"golden dragon palace restaurant", "main street"}}
+	other := record.Record{ID: "b", Values: []string{"iron horse tavern", "oak avenue"}}
+
+	first := g.Ingest(a)
+	if first.MergedInto {
+		t.Fatal("first record cannot merge")
+	}
+	second := g.Ingest(dup)
+	if !second.MergedInto || second.EntityID != "a" {
+		t.Fatalf("duplicate did not merge: %+v", second)
+	}
+	third := g.Ingest(other)
+	if third.MergedInto {
+		t.Fatalf("distinct record merged: %+v", third)
+	}
+
+	st := g.Stats()
+	if st.Records != 3 || st.Entities != 2 || st.Merged != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestIngestTransitiveGrowth(t *testing.T) {
+	g := NewIngestor(jaccardScorer, DefaultConfig())
+	for i := 0; i < 5; i++ {
+		r := record.Record{ID: fmt.Sprintf("r%d", i), Values: []string{"stone creek brewery amber ale", "portland"}}
+		g.Ingest(r)
+	}
+	ents := g.Entities()
+	if len(ents) != 1 || len(ents[0].Records) != 5 {
+		t.Fatalf("five identical records should form one entity: %d entities", len(ents))
+	}
+}
+
+func TestIngestAssignsIDs(t *testing.T) {
+	g := NewIngestor(jaccardScorer, DefaultConfig())
+	arr := g.Ingest(record.Record{Values: []string{"nameless record"}})
+	if arr.RecordID == "" || arr.EntityID == "" {
+		t.Fatalf("missing ids: %+v", arr)
+	}
+}
+
+func TestIngestBenchmarkFeed(t *testing.T) {
+	// Feed a slice of a benchmark dataset's positive pairs: left then
+	// right views. The right views should predominantly merge into their
+	// left twins.
+	d := datasets.MustGenerate("FOZA", 42)
+	g := NewIngestor(jaccardScorer, Config{MatchThreshold: 0.35, MaxCandidates: 10})
+	var positives []record.LabeledPair
+	for _, p := range d.Pairs {
+		if p.Match {
+			positives = append(positives, p)
+		}
+	}
+	for _, p := range positives {
+		g.Ingest(p.Left)
+	}
+	merged := 0
+	for _, p := range positives {
+		if arr := g.Ingest(p.Right); arr.MergedInto {
+			merged++
+		}
+	}
+	rate := float64(merged) / float64(len(positives))
+	if rate < 0.6 {
+		t.Fatalf("only %.0f%% of duplicate views merged", 100*rate)
+	}
+	st := g.Stats()
+	if st.Records != 2*len(positives) {
+		t.Fatalf("record count %d", st.Records)
+	}
+}
+
+func TestIndexHotTokenCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxIndexedPerToken = 4
+	cfg.MatchThreshold = 0.99 // keep everything separate
+	g := NewIngestor(jaccardScorer, cfg)
+	for i := 0; i < 20; i++ {
+		g.Ingest(record.Record{ID: fmt.Sprintf("x%d", i), Values: []string{fmt.Sprintf("common brand product %d", i)}})
+	}
+	for token, postings := range g.index {
+		if len(postings) > 4 {
+			t.Fatalf("token %q posting list grew past the cap: %d", token, len(postings))
+		}
+	}
+}
+
+func TestEntitiesSortedBySize(t *testing.T) {
+	g := NewIngestor(jaccardScorer, DefaultConfig())
+	for i := 0; i < 3; i++ {
+		g.Ingest(record.Record{ID: fmt.Sprintf("big%d", i), Values: []string{"twin pines brewing lager", "salem"}})
+	}
+	g.Ingest(record.Record{ID: "solo", Values: []string{"completely different thing", "elsewhere"}})
+	ents := g.Entities()
+	if len(ents) != 2 || len(ents[0].Records) < len(ents[1].Records) {
+		t.Fatalf("entities not sorted by size: %v", ents)
+	}
+}

@@ -1,0 +1,65 @@
+package textsim
+
+import "math"
+
+// Weighter holds corpus document-frequency statistics and computes
+// IDF-weighted cosine similarity. Fine-tuned matchers build a Weighter over
+// their transfer-learning corpus; prompted LLM simulations use one built
+// over a generic web-style corpus to model pretraining exposure.
+type Weighter struct {
+	docCount int
+	docFreq  map[string]int
+}
+
+// NewWeighter returns an empty Weighter.
+func NewWeighter() *Weighter {
+	return &Weighter{docFreq: make(map[string]int)}
+}
+
+// Observe adds one document's tokens to the corpus statistics.
+func (w *Weighter) Observe(text string) {
+	w.docCount++
+	seen := make(map[string]struct{})
+	for _, t := range Tokens(text) {
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		w.docFreq[t]++
+	}
+}
+
+// DocCount returns the number of observed documents.
+func (w *Weighter) DocCount() int { return w.docCount }
+
+// IDF returns the smoothed inverse document frequency of token t:
+// log(1 + (N+1)/(df+1)). Unseen tokens get the maximum weight, which makes
+// rare discriminative tokens (model numbers, venue names) dominate — the
+// behaviour entity matchers depend on.
+func (w *Weighter) IDF(t string) float64 {
+	df := w.docFreq[t]
+	return math.Log(1 + float64(w.docCount+1)/float64(df+1))
+}
+
+// CosineTFIDF returns the cosine similarity between the IDF-weighted term
+// frequency vectors of a and b.
+func (w *Weighter) CosineTFIDF(a, b string) float64 {
+	ta, tb := Tokens(a), Tokens(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	fa := w.weighted(ta)
+	fb := w.weighted(tb)
+	return cosine(fa, fb)
+}
+
+func (w *Weighter) weighted(toks []string) map[string]float64 {
+	f := make(map[string]float64, len(toks))
+	for _, t := range toks {
+		f[t] += w.IDF(t)
+	}
+	return f
+}
