@@ -1,0 +1,25 @@
+# Build/verify entry points for the reproduction study.
+
+GO ?= go
+
+.PHONY: build test bench verify-parallel vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Scaling benchmarks of the parallel evaluation engine.
+bench:
+	$(GO) test -bench 'EvaluateAllParallel|Table3Parallel' -benchtime=1x -run '^$$' .
+
+# Determinism/concurrency gate for the parallel evaluation engine: vet the
+# whole module, then race-test the engine (internal/eval), its scheduling
+# substrate (internal/par), the shared serialization cache (internal/record)
+# and the study runner that dispatches on it (internal/core).
+verify-parallel: vet
+	$(GO) test -race ./internal/par/... ./internal/record/... ./internal/eval/... ./internal/core/...
+
+vet:
+	$(GO) vet ./...

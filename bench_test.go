@@ -7,6 +7,7 @@ package crossem
 // five-seed protocol is regenerated with `go run ./cmd/emstudy <table>`.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -106,6 +107,60 @@ func BenchmarkTable3FineTunedMatcher(b *testing.B) {
 			pairs = append(pairs, d.Pairs[j].Pair)
 		}
 		m.Predict(matchers.Task{Pairs: pairs, Schema: d.Schema, TargetName: "FOZA"})
+	}
+}
+
+// --- Parallel evaluation engine ----------------------------------------
+
+// BenchmarkEvaluateAllParallel measures the engine's scaling on one
+// prompted matcher across all 11 targets. The 1-worker variant is the
+// sequential baseline; higher worker counts produce identical results.
+func BenchmarkEvaluateAllParallel(b *testing.B) {
+	h := benchHarness()
+	defer h.SetParallelism(0)
+	factory := func() matchers.Matcher { return matchers.NewMatchGPT(lm.GPT4) }
+	// Warm the shared serialization cache so every worker count measures
+	// the same steady state (otherwise the first variant pays all misses).
+	h.SetParallelism(1)
+	if _, err := h.EvaluateAllParallel(factory); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			h.SetParallelism(workers)
+			for i := 0; i < b.N; i++ {
+				if _, err := h.EvaluateAllParallel(factory); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Parallel runs the reduced Table 3 subset (the benchQuality
+// matcher set) through RunQuality's shared worker pool — the wall-clock
+// speedup measurement reported in EXPERIMENTS.md.
+func BenchmarkTable3Parallel(b *testing.B) {
+	h := benchHarness()
+	defer h.SetParallelism(0)
+	specs := core.Table3Specs()
+	fast := []core.MatcherSpec{
+		specs[0], specs[1], specs[7], specs[8], specs[9],
+		specs[10], specs[11], specs[12], specs[13],
+	}
+	h.SetParallelism(1)
+	if _, err := core.RunQuality(h, fast, nil); err != nil { // cache warm-up
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			h.SetParallelism(workers)
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunQuality(h, fast, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

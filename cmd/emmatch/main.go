@@ -44,16 +44,17 @@ func main() {
 		matcherName = flag.String("matcher", "gpt-4", "matcher to use")
 		maxCands    = flag.Int("candidates", 10, "blocking: max candidates per left record")
 		seed        = flag.Uint64("seed", 1, "random seed")
+		parallel    = flag.Int("parallel", 0, "workers for transfer-library generation: 0 = one per CPU, 1 = sequential")
 	)
 	flag.Parse()
 
-	if err := run(*leftPath, *rightPath, *pairsPath, *outPath, *matcherName, *maxCands, *seed); err != nil {
+	if err := run(*leftPath, *rightPath, *pairsPath, *outPath, *matcherName, *maxCands, *seed, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "emmatch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(leftPath, rightPath, pairsPath, outPath, matcherName string, maxCands int, seed uint64) error {
+func run(leftPath, rightPath, pairsPath, outPath, matcherName string, maxCands int, seed uint64, parallel int) error {
 	m, needsTraining, err := buildMatcher(matcherName)
 	if err != nil {
 		return err
@@ -103,7 +104,7 @@ func run(leftPath, rightPath, pairsPath, outPath, matcherName string, maxCands i
 	if needsTraining {
 		fmt.Fprintf(os.Stderr, "training %s on the built-in transfer library...\n", m.Name())
 		start := time.Now()
-		m.Train(datasets.GenerateAll(eval.DatasetSeed), rng.Split("train"))
+		m.Train(datasets.GenerateAllParallel(eval.DatasetSeed, parallel), rng.Split("train"))
 		fmt.Fprintf(os.Stderr, "trained in %.1fs\n", time.Since(start).Seconds())
 	} else {
 		m.Train(nil, rng.Split("train"))

@@ -62,7 +62,7 @@ func TestRunOnPairFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	outPath := filepath.Join(dir, "out.csv")
-	if err := run("", "", pairPath, outPath, "gpt-4", 5, 1); err != nil {
+	if err := run("", "", pairPath, outPath, "gpt-4", 5, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	out, err := os.ReadFile(outPath)
@@ -80,19 +80,19 @@ func TestRunOnRelations(t *testing.T) {
 	right := filepath.Join(dir, "right.csv")
 	os.WriteFile(left, []byte("id,name,city\na1,golden dragon palace,berlin\na2,iron horse tavern,paris\n"), 0o644)
 	os.WriteFile(right, []byte("id,name,city\nb1,GOLDEN dragon palace,berlin\nb2,blue bistro,rome\n"), 0o644)
-	if err := run(left, right, "", "", "stringsim", 5, 1); err != nil {
+	if err := run(left, right, "", "", "stringsim", 5, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRequiresInput(t *testing.T) {
-	if err := run("", "", "", "", "gpt-4", 5, 1); err == nil {
+	if err := run("", "", "", "", "gpt-4", 5, 1, 1); err == nil {
 		t.Fatal("missing inputs should error")
 	}
 }
 
 func TestRunUnknownMatcher(t *testing.T) {
-	if err := run("", "", "whatever.csv", "", "nope", 5, 1); err == nil {
+	if err := run("", "", "whatever.csv", "", "nope", 5, 1, 1); err == nil {
 		t.Fatal("unknown matcher should error before touching files")
 	}
 }

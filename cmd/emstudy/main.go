@@ -18,6 +18,12 @@
 // Table 3/4 runs fine-tune matchers live; with the paper's five seeds a
 // full table takes tens of minutes on a laptop. Use -seeds 1 for a quick
 // look.
+//
+// Evaluation runs on one worker per CPU by default; -parallel N pins the
+// worker count (1 forces the sequential engine). Parallel runs produce
+// output identical to sequential runs — every (matcher, target, seed)
+// cell derives its randomness from its own seeded stream, and results
+// merge back in table order.
 package main
 
 import (
@@ -47,6 +53,7 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	nSeeds := fs.Int("seeds", 5, "number of repetition seeds (the paper uses 5)")
+	parallel := fs.Int("parallel", 0, "evaluation workers: 0 = one per CPU, 1 = sequential (results are identical either way)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -55,13 +62,13 @@ func main() {
 		seeds = seeds[:*nSeeds]
 	}
 
-	if err := run(cmd, seeds, fs.Arg(0)); err != nil {
+	if err := run(cmd, seeds, *parallel, fs.Arg(0)); err != nil {
 		fmt.Fprintln(os.Stderr, "emstudy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cmd string, seeds []uint64, arg string) error {
+func run(cmd string, seeds []uint64, parallel int, arg string) error {
 	switch cmd {
 	case "table1":
 		fmt.Println(core.Table1())
@@ -78,9 +85,9 @@ func run(cmd string, seeds []uint64, arg string) error {
 	case "export":
 		return export(arg)
 	case "ablation":
-		return runAblations(seeds)
+		return runAblations(seeds, parallel)
 	case "budget":
-		h := core.NewHarness(seeds[:1])
+		h := core.NewHarnessParallel(seeds[:1], parallel)
 		sets := make(map[string][]record.Pair)
 		for _, d := range h.Datasets() {
 			var pairs []record.Pair
@@ -100,33 +107,33 @@ func run(cmd string, seeds []uint64, arg string) error {
 		if target == "" {
 			target = "AMGO"
 		}
-		h := core.NewHarness(seeds[:1])
+		h := core.NewHarnessParallel(seeds[:1], parallel)
 		report, err := core.AnalyzeErrors(h, lm.GPT4, target, 5)
 		if err != nil {
 			return err
 		}
 		fmt.Println(report.Render())
 	case "cascade":
-		h := core.NewHarness(seeds[:1])
+		h := core.NewHarnessParallel(seeds[:1], parallel)
 		results, err := core.RunCascadeStudy(h, []string{"ABT", "DBAC", "FOZA", "AMGO", "WAAM"})
 		if err != nil {
 			return err
 		}
 		fmt.Println(core.RenderCascade(results))
 	case "rag":
-		q, err := runQuality(core.Table4RAGSpecs(), seeds)
+		q, err := runQuality(core.Table4RAGSpecs(), seeds, parallel)
 		if err != nil {
 			return err
 		}
 		fmt.Println(core.QualityTable("Extension: retrieval-augmented demonstrations vs prompting without demonstrations.", q).Render())
 	case "table3", "figure3", "figure4", "findings":
-		q, err := runTable3(seeds)
+		q, err := runTable3(seeds, parallel)
 		if err != nil {
 			return err
 		}
 		return renderFromTable3(cmd, q)
 	case "table4":
-		q, err := runQuality(core.Table4Specs(), seeds)
+		q, err := runQuality(core.Table4Specs(), seeds, parallel)
 		if err != nil {
 			return err
 		}
@@ -136,7 +143,7 @@ func run(cmd string, seeds []uint64, arg string) error {
 		if err := verify(); err != nil {
 			return err
 		}
-		q3, err := runTable3(seeds)
+		q3, err := runTable3(seeds, parallel)
 		if err != nil {
 			return err
 		}
@@ -145,7 +152,7 @@ func run(cmd string, seeds []uint64, arg string) error {
 				return err
 			}
 		}
-		q4, err := runQuality(core.Table4Specs(), seeds)
+		q4, err := runQuality(core.Table4Specs(), seeds, parallel)
 		if err != nil {
 			return err
 		}
@@ -163,12 +170,12 @@ func run(cmd string, seeds []uint64, arg string) error {
 	return nil
 }
 
-func runTable3(seeds []uint64) (*core.QualityResults, error) {
-	return runQuality(core.Table3Specs(), seeds)
+func runTable3(seeds []uint64, parallel int) (*core.QualityResults, error) {
+	return runQuality(core.Table3Specs(), seeds, parallel)
 }
 
-func runQuality(specs []core.MatcherSpec, seeds []uint64) (*core.QualityResults, error) {
-	h := core.NewHarness(seeds)
+func runQuality(specs []core.MatcherSpec, seeds []uint64, parallel int) (*core.QualityResults, error) {
+	h := core.NewHarnessParallel(seeds, parallel)
 	start := time.Now()
 	q, err := core.RunQuality(h, specs, func(label string) {
 		fmt.Fprintf(os.Stderr, "  [%6.1fs] %s done\n", time.Since(start).Seconds(), label)
@@ -231,11 +238,11 @@ func export(dir string) error {
 
 // runAblations executes the three design-choice ablation studies on a
 // reduced protocol (the DESIGN.md ablation index).
-func runAblations(seeds []uint64) error {
+func runAblations(seeds []uint64, parallel int) error {
 	if len(seeds) > 2 {
 		seeds = seeds[:2] // ablations are about deltas; two seeds suffice
 	}
-	h := core.NewHarness(seeds)
+	h := core.NewHarnessParallel(seeds, parallel)
 	studies := []func(*eval.Harness, []string) (*ablation.Study, error){
 		ablation.PromptEngine,
 		ablation.AnyMatchPipeline,
@@ -265,5 +272,5 @@ func verify() error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: emstudy <table1|table3|table4|table5|table6|figure3|figure4|findings|ablation|rag|cascade|errors|budget|verify|export|all> [-seeds N] [dir]`)
+	fmt.Fprintln(os.Stderr, `usage: emstudy <table1|table3|table4|table5|table6|figure3|figure4|findings|ablation|rag|cascade|errors|budget|verify|export|all> [-seeds N] [-parallel N] [dir]`)
 }

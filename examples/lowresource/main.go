@@ -45,14 +45,13 @@ func main() {
 	fmt.Printf("Active learning on AMGO: budget %d labels, pool %d pairs\n\n", cfg.Budget, len(pool))
 	fmt.Printf("%8s  %12s  %12s\n", "labels", "random F1", "uncertainty F1")
 
-	randomRes, err := active.Run(pool, evalSet, active.Random, cfg, stats.NewRNG(1))
+	// Both strategies run concurrently on independent RNG streams.
+	results, err := active.RunAll(pool, evalSet,
+		[]active.Strategy{active.Random, active.Uncertainty}, cfg, 1, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	uncertainRes, err := active.Run(pool, evalSet, active.Uncertainty, cfg, stats.NewRNG(1))
-	if err != nil {
-		log.Fatal(err)
-	}
+	randomRes, uncertainRes := results[0], results[1]
 	for i := range randomRes.Curve {
 		r := randomRes.Curve[i]
 		u := uncertainRes.Curve[i]

@@ -46,16 +46,18 @@ func (s *Study) Delta(name string) float64 {
 	return v - base
 }
 
-// evaluate runs a factory over the given targets and aggregates.
+// evaluate runs a factory over the given targets and aggregates. The
+// (target, seed) cells fan out across the harness's workers; results are
+// identical to a sequential target loop.
 func evaluate(h *eval.Harness, factory eval.MatcherFactory, targets []string) (Variant, error) {
 	v := Variant{PerTarget: make(map[string]float64)}
+	results, err := h.EvaluateTargets(factory, targets)
+	if err != nil {
+		return v, err
+	}
 	sum := 0.0
-	for _, target := range targets {
-		res, err := h.EvaluateTarget(factory, target)
-		if err != nil {
-			return v, err
-		}
-		v.PerTarget[target] = res.Mean()
+	for _, res := range results {
+		v.PerTarget[res.Target] = res.Mean()
 		sum += res.Mean()
 	}
 	if len(targets) > 0 {

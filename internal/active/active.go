@@ -12,6 +12,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/lm"
 	"repro/internal/mlcore"
+	"repro/internal/par"
 	"repro/internal/record"
 	"repro/internal/stats"
 )
@@ -166,6 +167,29 @@ func Run(pool, evalSet []record.LabeledPair, strategy Strategy, cfg Config, rng 
 	}
 	res.FinalF1 = res.Curve[len(res.Curve)-1].F1
 	return res, nil
+}
+
+// RunAll runs several strategies over the same pool and evaluation split,
+// fanning the independent loops across the given worker count (see
+// par.Workers). Each strategy derives its own RNG stream from the base
+// seed ("active:"+name), so the result slice — in strategy argument
+// order — is identical at any worker count.
+func RunAll(pool, evalSet []record.LabeledPair, strategies []Strategy, cfg Config, seed uint64, workers int) ([]Result, error) {
+	out := make([]Result, len(strategies))
+	err := par.Do(len(strategies), workers, func(i int) error {
+		s := strategies[i]
+		rng := stats.NewRNG(seed).Split("active:" + s.String())
+		res, err := Run(pool, evalSet, s, cfg, rng)
+		if err != nil {
+			return fmt.Errorf("active: strategy %s: %w", s, err)
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // selectionInput carries the query-selection state: the oracle-revealed

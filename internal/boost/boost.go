@@ -8,6 +8,8 @@ package boost
 import (
 	"math"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // Config configures booster training.
@@ -54,16 +56,19 @@ func Train(xs [][]float64, ys []float64, cfg Config) *Booster {
 	p0 := clampProb(pos / float64(n))
 	b := &Booster{bias: math.Log(p0 / (1 - p0)), lr: cfg.LearnRate}
 
-	// Pre-sort feature columns once for fast threshold search.
+	// Pre-sort feature columns once for fast threshold search. Columns are
+	// independent, so the sorts fan out across CPUs; each column's order is
+	// a pure function of its values, keeping the ensemble deterministic.
 	order := make([][]int, nFeat)
-	for f := 0; f < nFeat; f++ {
+	_ = par.Do(nFeat, 0, func(f int) error {
 		idx := make([]int, n)
 		for i := range idx {
 			idx[i] = i
 		}
 		sort.Slice(idx, func(a, c int) bool { return xs[idx[a]][f] < xs[idx[c]][f] })
 		order[f] = idx
-	}
+		return nil
+	})
 
 	logits := make([]float64, n)
 	for i := range logits {

@@ -121,8 +121,30 @@ type QualityResults struct {
 // RunQuality evaluates every spec on every target dataset under the
 // harness's protocol. Progress callbacks (may be nil) fire per completed
 // spec, since full runs take minutes.
+//
+// When the harness's parallelism resolves to more than one worker, the
+// (spec, target, seed) cells of all specs are scheduled on one shared
+// worker pool; the results are identical to the sequential path, and the
+// progress callback still fires once per spec, in spec order, from a
+// single goroutine.
 func RunQuality(h *eval.Harness, specs []MatcherSpec, progress func(label string)) (*QualityResults, error) {
 	out := &QualityResults{Specs: specs}
+	if h.Parallelism() > 1 {
+		factories := make([]eval.MatcherFactory, len(specs))
+		for i, spec := range specs {
+			factories[i] = spec.Factory
+		}
+		var notify func(int)
+		if progress != nil {
+			notify = func(spec int) { progress(specs[spec].Label) }
+		}
+		results, err := h.EvaluateSpecs(factories, notify)
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluating quality table: %w", err)
+		}
+		out.Results = results
+		return out, nil
+	}
 	for _, spec := range specs {
 		results, err := h.EvaluateAll(spec.Factory)
 		if err != nil {

@@ -1,6 +1,7 @@
 package datasets
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -246,4 +247,12 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+func TestGenerateAllParallelMatchesSequential(t *testing.T) {
+	seq := GenerateAll(7)
+	par := GenerateAllParallel(7, 4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel dataset generation differs from sequential")
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/par"
 	"repro/internal/record"
 	"repro/internal/stats"
 )
@@ -68,11 +69,20 @@ func MustGenerate(name string, seed uint64) *record.Dataset {
 // GenerateAll builds all 11 benchmark datasets with the given seed, in
 // Table 1 order.
 func GenerateAll(seed uint64) []*record.Dataset {
+	return GenerateAllParallel(seed, 1)
+}
+
+// GenerateAllParallel builds all benchmark datasets across the given
+// number of workers. Every dataset derives from its own seeded RNG stream
+// ("dataset:"+name), so the output is identical at any worker count; the
+// slice still comes back in Table 1 order.
+func GenerateAllParallel(seed uint64, workers int) []*record.Dataset {
 	specs := allSpecs()
 	out := make([]*record.Dataset, len(specs))
-	for i, s := range specs {
-		out[i] = generate(s, seed)
-	}
+	_ = par.Do(len(specs), workers, func(i int) error {
+		out[i] = generate(specs[i], seed)
+		return nil
+	})
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/datasets"
 	"repro/internal/matchers"
+	"repro/internal/par"
 	"repro/internal/record"
 	"repro/internal/stats"
 )
@@ -28,6 +29,13 @@ type Config struct {
 	Seeds []uint64
 	// MaxTest caps the test-set size (0 means MaxTestSamples).
 	MaxTest int
+	// Parallelism is the worker count of the parallel evaluation engine:
+	// n > 0 runs n workers, 1 forces the sequential path, and anything
+	// else (the zero value included) means one worker per available CPU.
+	// Parallel and sequential runs produce identical results — every
+	// (matcher, target, seed) cell is independently seeded and results
+	// merge back in table order — so this knob trades nothing but heat.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's protocol: five seeds, 1,250-sample
@@ -64,9 +72,16 @@ type Harness struct {
 	cfg  Config
 	all  []*record.Dataset
 	test map[string][]int // target -> fixed test indices
+	// sercache is the shared serialization cache installed into every
+	// task's SerializeOptions; the benchmark records are immutable, so all
+	// runs — sequential or parallel — share one read-mostly cache.
+	sercache *record.SerializeCache
 }
 
 // NewHarness generates the benchmark and fixes the test partitions.
+// Dataset generation itself fans out across the configured parallelism
+// (each dataset derives from an independent seeded stream, so the result
+// is identical at any worker count).
 func NewHarness(cfg Config) *Harness {
 	if len(cfg.Seeds) == 0 {
 		cfg.Seeds = DefaultSeeds
@@ -74,12 +89,29 @@ func NewHarness(cfg Config) *Harness {
 	if cfg.MaxTest <= 0 {
 		cfg.MaxTest = MaxTestSamples
 	}
-	h := &Harness{cfg: cfg, all: datasets.GenerateAll(DatasetSeed), test: make(map[string][]int)}
+	h := &Harness{
+		cfg:      cfg,
+		all:      datasets.GenerateAllParallel(DatasetSeed, par.Workers(cfg.Parallelism)),
+		test:     make(map[string][]int),
+		sercache: record.NewSerializeCache(),
+	}
 	for _, d := range h.all {
 		h.test[d.Name] = sampleTest(d, cfg.MaxTest)
 	}
 	return h
 }
+
+// SetParallelism adjusts the worker count after construction (see
+// Config.Parallelism for the knob's semantics). It must not be called
+// concurrently with an evaluation.
+func (h *Harness) SetParallelism(n int) { h.cfg.Parallelism = n }
+
+// Parallelism returns the resolved worker count of the harness.
+func (h *Harness) Parallelism() int { return par.Workers(h.cfg.Parallelism) }
+
+// SerializationCache exposes the harness's shared cache, for benchmarks
+// and cache-effectiveness reporting.
+func (h *Harness) SerializationCache() *record.SerializeCache { return h.sercache }
 
 // sampleTest draws the fixed ≤cap test indices for a dataset. The draw is
 // stratified-free uniform (as in the MatchGPT protocol) but deterministic,
@@ -124,41 +156,90 @@ func (h *Harness) Transfer(target string) []*record.Dataset {
 	return out
 }
 
-// EvaluateTarget runs one matcher on one target dataset across all seeds.
-func (h *Harness) EvaluateTarget(factory MatcherFactory, target string) (Result, error) {
+// targetInputs holds the evaluation inputs every cell of one target
+// shares: the fixed test pairs and labels and the transfer datasets. All
+// fields are read-only once built, so cells may consume them from any
+// goroutine.
+type targetInputs struct {
+	d        *record.Dataset
+	pairs    []record.Pair
+	labels   []bool
+	transfer []*record.Dataset
+}
+
+// targetInputs resolves the shared inputs for a target, erroring on
+// unknown dataset names.
+func (h *Harness) targetInputs(target string) (*targetInputs, error) {
 	d := h.Dataset(target)
 	if d == nil {
-		return Result{}, fmt.Errorf("eval: unknown target dataset %q", target)
+		return nil, fmt.Errorf("eval: unknown target dataset %q", target)
 	}
 	testIdx := h.test[target]
-	pairs := make([]record.Pair, len(testIdx))
-	labels := make([]bool, len(testIdx))
+	in := &targetInputs{
+		d:        d,
+		pairs:    make([]record.Pair, len(testIdx)),
+		labels:   make([]bool, len(testIdx)),
+		transfer: h.Transfer(target),
+	}
 	for i, j := range testIdx {
-		pairs[i] = d.Pairs[j].Pair
-		labels[i] = d.Pairs[j].Match
+		in.pairs[i] = d.Pairs[j].Pair
+		in.labels[i] = d.Pairs[j].Match
 	}
-	transfer := h.Transfer(target)
+	return in, nil
+}
 
-	res := Result{Target: target}
-	for _, seed := range h.cfg.Seeds {
-		m := factory()
-		if res.Matcher == "" {
-			res.Matcher = m.Name()
-		}
-		rng := stats.NewRNG(seed).Split("run:" + target + ":" + m.Name())
-		m.Train(transfer, rng.Split("train"))
-		task := matchers.Task{
-			Pairs:      pairs,
-			Opts:       record.SerializeOptions{ColumnOrder: matchers.ShuffledOrder(d.Schema.NumAttrs(), rng.Split("serialize"))},
-			Schema:     d.Schema,
-			TargetName: target,
-		}
-		preds := m.Predict(task)
-		c := Score(preds, labels)
-		res.Confusions = append(res.Confusions, c)
-		res.F1s = append(res.F1s, c.F1())
+// cell is the outcome of one (matcher, target, seed) evaluation — the
+// atomic unit the parallel engine schedules.
+type cell struct {
+	name string
+	conf Confusion
+}
+
+// runCell trains a fresh matcher instance on the transfer datasets and
+// scores it on the target's fixed test set under one seed. All randomness
+// derives from the (seed, target, matcher) triple, so cells are
+// independent of each other and of execution order.
+func (h *Harness) runCell(factory MatcherFactory, in *targetInputs, seed uint64) cell {
+	m := factory()
+	rng := stats.NewRNG(seed).Split("run:" + in.d.Name + ":" + m.Name())
+	m.Train(in.transfer, rng.Split("train"))
+	task := matchers.Task{
+		Pairs: in.pairs,
+		Opts: record.SerializeOptions{
+			ColumnOrder: matchers.ShuffledOrder(in.d.Schema.NumAttrs(), rng.Split("serialize")),
+			Cache:       h.sercache,
+		},
+		Schema:     in.d.Schema,
+		TargetName: in.d.Name,
 	}
-	return res, nil
+	preds := m.Predict(task)
+	return cell{name: m.Name(), conf: Score(preds, in.labels)}
+}
+
+// mergeCells folds per-seed cells (in seed order) into a Result.
+func mergeCells(target string, cells []cell) Result {
+	res := Result{Target: target}
+	for _, c := range cells {
+		if res.Matcher == "" {
+			res.Matcher = c.name
+		}
+		res.Confusions = append(res.Confusions, c.conf)
+		res.F1s = append(res.F1s, c.conf.F1())
+	}
+	return res
+}
+
+// EvaluateTarget runs one matcher on one target dataset across all seeds.
+func (h *Harness) EvaluateTarget(factory MatcherFactory, target string) (Result, error) {
+	in, err := h.targetInputs(target)
+	if err != nil {
+		return Result{}, err
+	}
+	cells := make([]cell, len(h.cfg.Seeds))
+	for i, seed := range h.cfg.Seeds {
+		cells[i] = h.runCell(factory, in, seed)
+	}
+	return mergeCells(target, cells), nil
 }
 
 // EvaluateAll runs one matcher across every target dataset

@@ -1,0 +1,115 @@
+package eval
+
+import (
+	"sync/atomic"
+
+	"repro/internal/par"
+)
+
+// This file is the parallel evaluation engine. The leave-one-dataset-out
+// protocol decomposes into (matcher, target, seed) cells that share only
+// read-only inputs — the generated benchmark, the fixed test partitions
+// and the serialization cache — and derive all randomness from their own
+// seeded RNG stream. The engine therefore fans cells across a worker pool
+// and merges them back through indexed slots, making parallel output
+// byte-identical to the sequential path at every worker count.
+
+// EvaluateTargets runs one matcher over the given targets, fanning the
+// (target, seed) cells across the harness's configured workers. The
+// results come back in the order of the targets argument, identical to
+// calling EvaluateTarget per target sequentially.
+func (h *Harness) EvaluateTargets(factory MatcherFactory, targets []string) ([]Result, error) {
+	// Resolve inputs up front so an unknown target name surfaces as the
+	// same deterministic error the sequential path reports, before any
+	// cell runs.
+	inputs := make([]*targetInputs, len(targets))
+	for i, t := range targets {
+		in, err := h.targetInputs(t)
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = in
+	}
+	nSeeds := len(h.cfg.Seeds)
+	cells := make([]cell, len(targets)*nSeeds)
+	if err := par.Do(len(cells), h.Parallelism(), func(i int) error {
+		t, k := i/nSeeds, i%nSeeds
+		cells[i] = h.runCell(factory, inputs[t], h.cfg.Seeds[k])
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(targets))
+	for t, name := range targets {
+		out[t] = mergeCells(name, cells[t*nSeeds:(t+1)*nSeeds])
+	}
+	return out, nil
+}
+
+// EvaluateAllParallel is EvaluateAll with the (target, seed) cells fanned
+// across the harness's workers; results are byte-identical to EvaluateAll
+// and come back in Table 1 dataset order.
+func (h *Harness) EvaluateAllParallel(factory MatcherFactory) ([]Result, error) {
+	names := make([]string, len(h.all))
+	for i, d := range h.all {
+		names[i] = d.Name
+	}
+	return h.EvaluateTargets(factory, names)
+}
+
+// EvaluateSpecs runs several matcher configurations over the full
+// benchmark at once, scheduling every (spec, target, seed) cell on one
+// shared worker pool — the engine behind the quality tables, where the
+// cheap configurations would otherwise leave workers idle while an
+// expensive one finishes its row.
+//
+// progress (may be nil) fires once per fully completed configuration,
+// always from a single goroutine and always in spec order, exactly as a
+// sequential run would report it — even when a later spec's cells finish
+// first.
+func (h *Harness) EvaluateSpecs(factories []MatcherFactory, progress func(spec int)) ([][]Result, error) {
+	inputs := make([]*targetInputs, len(h.all))
+	for t, d := range h.all {
+		in, err := h.targetInputs(d.Name)
+		if err != nil {
+			return nil, err
+		}
+		inputs[t] = in
+	}
+	nSeeds := len(h.cfg.Seeds)
+	perSpec := len(inputs) * nSeeds
+	cells := make([]cell, len(factories)*perSpec)
+
+	// Per-spec countdowns feed the ordered notifier: the last cell of a
+	// spec to finish reports it, and the notifier re-orders those reports
+	// into sequential-looking progress callbacks.
+	remaining := make([]atomic.Int64, len(factories))
+	for s := range remaining {
+		remaining[s].Store(int64(perSpec))
+	}
+	notifier := par.NewOrderedNotifier(len(factories), progress)
+	err := par.Do(len(cells), h.Parallelism(), func(i int) error {
+		s, rem := i/perSpec, i%perSpec
+		t, k := rem/nSeeds, rem%nSeeds
+		cells[i] = h.runCell(factories[s], inputs[t], h.cfg.Seeds[k])
+		if remaining[s].Add(-1) == 0 {
+			notifier.Done(s)
+		}
+		return nil
+	})
+	notifier.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([][]Result, len(factories))
+	for s := range factories {
+		rs := make([]Result, len(inputs))
+		for t, in := range inputs {
+			base := s*perSpec + t*nSeeds
+			rs[t] = mergeCells(in.d.Name, cells[base:base+nSeeds])
+		}
+		out[s] = rs
+	}
+	return out, nil
+}

@@ -1,6 +1,11 @@
 package eval
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/par"
+)
 
 // PRPoint is one operating point of a precision-recall sweep.
 type PRPoint struct {
@@ -59,6 +64,28 @@ func SweepThresholds(scores []float64, labels []bool) []PRPoint {
 		points = append(points, p)
 	}
 	return points
+}
+
+// SweepAll runs SweepThresholds over several scored runs across the given
+// worker count (see par.Workers). Each sweep only sorts and scans its own
+// run, so the output is position-for-position identical to sweeping
+// sequentially.
+func SweepAll(scoreSets [][]float64, labelSets [][]bool, workers int) ([][]PRPoint, error) {
+	if len(scoreSets) != len(labelSets) {
+		return nil, fmt.Errorf("eval: SweepAll got %d score sets but %d label sets", len(scoreSets), len(labelSets))
+	}
+	out := make([][]PRPoint, len(scoreSets))
+	err := par.Do(len(scoreSets), workers, func(i int) error {
+		if len(scoreSets[i]) != len(labelSets[i]) {
+			return fmt.Errorf("eval: SweepAll run %d: %d scores vs %d labels", i, len(scoreSets[i]), len(labelSets[i]))
+		}
+		out[i] = SweepThresholds(scoreSets[i], labelSets[i])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // BestF1Point returns the operating point with the highest F1 (the oracle

@@ -2,7 +2,10 @@ package eval
 
 import (
 	"math"
+	"reflect"
 	"testing"
+
+	"repro/internal/stats"
 )
 
 func TestSweepThresholdsBasics(t *testing.T) {
@@ -69,5 +72,44 @@ func TestSweepThresholdsMismatchPanics(t *testing.T) {
 func TestBestF1PointEmpty(t *testing.T) {
 	if got := BestF1Point(nil); got.F1 != 0 {
 		t.Fatalf("empty best = %+v", got)
+	}
+}
+
+func TestSweepAllMatchesSequential(t *testing.T) {
+	rng := stats.NewRNG(9)
+	var scoreSets [][]float64
+	var labelSets [][]bool
+	for run := 0; run < 6; run++ {
+		n := 50 + run*30
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		for i := range scores {
+			scores[i] = rng.Float64()
+			labels[i] = scores[i]+0.3*rng.Float64() > 0.6
+		}
+		scoreSets = append(scoreSets, scores)
+		labelSets = append(labelSets, labels)
+	}
+	want := make([][]PRPoint, len(scoreSets))
+	for i := range scoreSets {
+		want[i] = SweepThresholds(scoreSets[i], labelSets[i])
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := SweepAll(scoreSets, labelSets, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: SweepAll differs from sequential sweeps", workers)
+		}
+	}
+}
+
+func TestSweepAllMismatch(t *testing.T) {
+	if _, err := SweepAll([][]float64{{1}}, nil, 2); err == nil {
+		t.Fatal("set-count mismatch should error")
+	}
+	if _, err := SweepAll([][]float64{{1, 2}}, [][]bool{{true}}, 2); err == nil {
+		t.Fatal("per-run length mismatch should error")
 	}
 }

@@ -73,7 +73,13 @@ func (m *Jellyfish) Seen(target string) bool {
 	return JellyfishSeenDatasets[target]
 }
 
-// seenBoost lifts capabilities to the tuned level for seen datasets.
+// seenBoost lifts capabilities to the tuned level for seen datasets. Only
+// the capabilities that are monotone in accuracy are lifted: Semantics and
+// Attention also scale the evidence model's conflict penalties and
+// short-field veto, which are calibrated for Jellyfish's moderate base
+// levels — raising them pushes the penalty terms into an over-penalizing
+// regime on noisy product data and *lowers* seen-dataset accuracy below
+// the unseen baseline.
 func seenBoost(c lm.Capabilities) lm.Capabilities {
 	lift := func(v, target float64) float64 {
 		if target > v {
@@ -82,9 +88,7 @@ func seenBoost(c lm.Capabilities) lm.Capabilities {
 		return v
 	}
 	c.Normalization = lift(c.Normalization, 0.92)
-	c.Semantics = lift(c.Semantics, 0.85)
 	c.Numeracy = lift(c.Numeracy, 0.82)
-	c.Attention = lift(c.Attention, 0.85)
 	c.Robustness = lift(c.Robustness, 0.80)
 	c.Calibration = lift(c.Calibration, 0.85)
 	c.DecisionNoise = c.DecisionNoise * 0.6

@@ -1,0 +1,122 @@
+// Package par provides the deterministic parallel-execution substrate of
+// the study: a small indexed worker pool that fans independent jobs across
+// goroutines while keeping every observable output identical to a
+// sequential run.
+//
+// The design rule is "indexed result slots, not channels in completion
+// order": each job writes only into its own index, so the merge order —
+// and therefore every table, figure and statistic downstream — is fixed by
+// the job index, never by goroutine scheduling. Combined with the
+// per-cell seeded RNG streams of internal/stats, this makes parallel
+// evaluation byte-identical to the sequential path.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob to a concrete worker count: values
+// greater than zero are taken literally, anything else means "one worker
+// per available CPU" (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do runs jobs 0..n-1 across at most `workers` goroutines (resolved via
+// Workers) and waits for all of them. Jobs must be independent and write
+// their results into per-index slots owned by the caller. If any jobs
+// fail, the error of the lowest-indexed failing job is returned, so the
+// reported error does not depend on scheduling.
+//
+// With one worker the jobs run inline in index order, which is the exact
+// sequential semantics the parallel path must reproduce.
+func Do(n, workers int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OrderedNotifier serializes out-of-order completion events into in-order
+// callbacks from a single goroutine. Workers report completed indices via
+// Done; the callback fires for index i only after indices 0..i-1 have
+// fired, so progress output reads exactly as it would sequentially.
+type OrderedNotifier struct {
+	ch   chan int
+	done sync.WaitGroup
+}
+
+// NewOrderedNotifier starts the notifier's emitter goroutine. notify may
+// be nil, in which case events are swallowed (callers don't need to guard
+// their Done calls). Close must be called to stop the goroutine.
+func NewOrderedNotifier(n int, notify func(i int)) *OrderedNotifier {
+	o := &OrderedNotifier{ch: make(chan int, n+1)}
+	o.done.Add(1)
+	go func() {
+		defer o.done.Done()
+		pending := make(map[int]bool, n)
+		next := 0
+		for i := range o.ch {
+			pending[i] = true
+			for pending[next] {
+				delete(pending, next)
+				if notify != nil {
+					notify(next)
+				}
+				next++
+			}
+		}
+	}()
+	return o
+}
+
+// Done reports that index i has completed. Safe to call from any
+// goroutine.
+func (o *OrderedNotifier) Done(i int) { o.ch <- i }
+
+// Close drains the notifier and blocks until every in-order callback has
+// fired. Call exactly once, after all Done calls.
+func (o *OrderedNotifier) Close() {
+	close(o.ch)
+	o.done.Wait()
+}

@@ -1,0 +1,115 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit worker count not honoured")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Fatal("zero should resolve to GOMAXPROCS")
+	}
+	if Workers(-5) != runtime.GOMAXPROCS(0) {
+		t.Fatal("negative should resolve to GOMAXPROCS")
+	}
+}
+
+func TestDoRunsEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		n := 100
+		counts := make([]int32, n)
+		err := Do(n, workers, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoEmpty(t *testing.T) {
+	if err := Do(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoReturnsLowestIndexedError(t *testing.T) {
+	wantErr := errors.New("job 3 failed")
+	err := Do(10, 4, func(i int) error {
+		switch i {
+		case 3:
+			return wantErr
+		case 7:
+			return errors.New("job 7 failed")
+		}
+		return nil
+	})
+	if err != wantErr {
+		t.Fatalf("got %v, want the lowest-indexed error", err)
+	}
+}
+
+func TestDoMoreWorkersThanJobs(t *testing.T) {
+	var ran int32
+	if err := Do(2, 64, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d jobs, want 2", ran)
+	}
+}
+
+func TestOrderedNotifierFiresInOrder(t *testing.T) {
+	n := 50
+	var got []int
+	o := NewOrderedNotifier(n, func(i int) { got = append(got, i) })
+	// Report completions in a scrambled order.
+	for i := n - 1; i >= 0; i -= 2 {
+		o.Done(i)
+	}
+	for i := n - 2; i >= 0; i -= 2 {
+		o.Done(i)
+	}
+	o.Close()
+	if len(got) != n {
+		t.Fatalf("fired %d notifications, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("notification %d fired as %d: order not sequential", i, v)
+		}
+	}
+}
+
+func TestOrderedNotifierNilCallback(t *testing.T) {
+	o := NewOrderedNotifier(4, nil)
+	for i := 0; i < 4; i++ {
+		o.Done(i)
+	}
+	o.Close() // must not hang or panic
+}
+
+func BenchmarkDoOverhead(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = Do(64, w, func(int) error { return nil })
+			}
+		})
+	}
+}

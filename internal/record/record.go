@@ -152,6 +152,11 @@ type SerializeOptions struct {
 	ColumnOrder []int
 	// Separator joins attribute values; the StringSim baseline uses ", ".
 	Separator string
+	// Cache, when non-nil, memoises serializations across runs. The
+	// evaluation harness installs one shared cache so the matcher
+	// configurations of a quality table stop re-serializing the same fixed
+	// test sets from scratch; see SerializeCache.
+	Cache *SerializeCache
 }
 
 // DefaultSeparator is the attribute separator used when none is given.
@@ -160,6 +165,9 @@ const DefaultSeparator = ", "
 // SerializeRecord renders a single record as a separator-joined value list.
 // Per cross-dataset restriction 2, no attribute names are included.
 func SerializeRecord(r Record, opts SerializeOptions) string {
+	if opts.Cache != nil {
+		return opts.Cache.record(r, opts)
+	}
 	sep := opts.Separator
 	if sep == "" {
 		sep = DefaultSeparator
