@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test bench verify-parallel vet
+.PHONY: build test bench bench-json verify-parallel vet
 
 build:
 	$(GO) build ./...
@@ -14,12 +14,22 @@ test:
 bench:
 	$(GO) test -bench 'EvaluateAllParallel|Table3Parallel' -benchtime=1x -run '^$$' .
 
-# Determinism/concurrency gate for the parallel evaluation engine: vet the
-# whole module, then race-test the engine (internal/eval), its scheduling
-# substrate (internal/par), the shared serialization cache (internal/record)
-# and the study runner that dispatches on it (internal/core).
+# Component microbenchmarks of the similarity/featurisation hot path,
+# recorded as JSON for regression tracking (see EXPERIMENTS.md).
+bench-json:
+	$(GO) test -run '^$$' -bench 'RatcliffObershelp|QGramJaccard|EncoderEncode|TokenizerCount|BlockingCandidates' \
+		-benchtime=1s -benchmem . | $(GO) run ./cmd/benchjson > BENCH_pr2.json
+	@cat BENCH_pr2.json
+
+# Determinism/concurrency gate for the parallel evaluation engine and the
+# shared caches under it: vet the whole module, then race-test the engine
+# (internal/eval), its scheduling substrate (internal/par), the shared
+# serialization cache (internal/record), the text-profile cache and
+# similarity kernels (internal/textsim), the language-model simulation's
+# value/normalization caches (internal/lm), and the study runner that
+# dispatches on all of it (internal/core).
 verify-parallel: vet
-	$(GO) test -race ./internal/par/... ./internal/record/... ./internal/eval/... ./internal/core/...
+	$(GO) test -race ./internal/par/... ./internal/record/... ./internal/textsim/... ./internal/lm/... ./internal/eval/... ./internal/core/...
 
 vet:
 	$(GO) vet ./...

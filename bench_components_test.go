@@ -16,6 +16,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/eval"
 	"repro/internal/gmm"
+	"repro/internal/lm"
 	"repro/internal/mlcore"
 	"repro/internal/moe"
 	"repro/internal/record"
@@ -27,6 +28,7 @@ import (
 func BenchmarkRatcliffObershelp(b *testing.B) {
 	x := "sony professional camcorder hdr-fx1000 black home audio"
 	y := "SONY camcorder hdr fx1000, audio equipment, refurbished"
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		textsim.RatcliffObershelp(x, y)
@@ -36,14 +38,36 @@ func BenchmarkRatcliffObershelp(b *testing.B) {
 func BenchmarkQGramJaccard(b *testing.B) {
 	x := "sony professional camcorder hdr-fx1000 black home audio"
 	y := "SONY camcorder hdr fx1000, audio equipment, refurbished"
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		textsim.QGramJaccard(x, y)
 	}
 }
 
+func BenchmarkEncoderEncode(b *testing.B) {
+	d := datasets.MustGenerate("WAAM", eval.DatasetSeed)
+	pairs := make([]record.Pair, 0, 64)
+	for i := 0; i < 64 && i < len(d.Pairs); i++ {
+		pairs = append(pairs, d.Pairs[i].Pair)
+	}
+	enc := lm.NewEncoder(lm.DeBERTa.Capacity)
+	opts := record.SerializeOptions{Cache: record.NewSerializeCache()}
+	// Warm the serialization and profile caches: steady-state encoding
+	// (every epoch after the first) runs entirely against warm caches.
+	for _, p := range pairs {
+		enc.Encode(p, opts)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Encode(pairs[i%len(pairs)], opts)
+	}
+}
+
 func BenchmarkTokenizerCount(b *testing.B) {
 	text := "sony professional camcorder hdr-fx1000 black, home audio equipment, $3,199.99"
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tokenize.Count(text)
@@ -61,6 +85,7 @@ func BenchmarkLogRegTraining(b *testing.B) {
 		examples[i] = mlcore.Example{X: x, Y: float64(i % 2)}
 	}
 	cfg := mlcore.LogRegConfig{Dim: 1024, Epochs: 3, LearnRate: 0.05}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mlcore.TrainLogReg(examples, cfg, stats.NewRNG(uint64(i)))
@@ -77,6 +102,7 @@ func BenchmarkMLPTraining(b *testing.B) {
 		}
 		examples[i] = mlcore.Example{X: x, Y: float64(i % 2)}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := mlcore.NewMLP(mlcore.MLPConfig{Dim: 1024, Hidden: 16, Epochs: 3, LearnRate: 0.02}, stats.NewRNG(uint64(i)))
@@ -95,6 +121,7 @@ func BenchmarkMoETraining(b *testing.B) {
 		examples[i] = mlcore.Example{X: x, Y: float64(i % 2)}
 	}
 	cfg := moe.Config{Dim: 512, Experts: 4, Hidden: 8, Epochs: 2, LearnRate: 0.02}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := moe.New(cfg, stats.NewRNG(uint64(i)))
@@ -112,6 +139,7 @@ func BenchmarkBoosterTraining(b *testing.B) {
 			ys[i] = 1
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		boost.Train(xs, ys, boost.DefaultConfig())
@@ -132,6 +160,7 @@ func BenchmarkGMMFit(b *testing.B) {
 			stats.Clamp(rng.NormScaled(base, 0.1), 0, 1),
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		gmm.Fit(xs, gmm.DefaultConfig(), stats.NewRNG(uint64(i)))
@@ -149,6 +178,7 @@ func BenchmarkBlockingCandidates(b *testing.B) {
 		right = append(right, p.Right)
 	}
 	blocker := blocking.New(blocking.DefaultConfig())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		blocker.CandidatePairs(left, right)
@@ -164,6 +194,7 @@ func BenchmarkClusterResolve(b *testing.B) {
 			Score: 0.5 + float64(i%50)/100,
 		})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cluster.Resolve(edges, nil, cluster.Config{MaxClusterSize: 20})
@@ -176,6 +207,7 @@ func BenchmarkBillingEstimate(b *testing.B) {
 	for i := 0; i < 500; i++ {
 		pairs = append(pairs, d.Pairs[i].Pair)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cost.EstimateBilling("GPT-4", pairs, cost.FourA100); err != nil {

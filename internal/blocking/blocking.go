@@ -53,25 +53,30 @@ func New(cfg Config) *Blocker {
 // each left record paired with at most MaxCandidatesPerRecord right
 // records sharing rare tokens.
 func (b *Blocker) CandidatePairs(left, right []record.Record) []record.Pair {
-	// Build corpus statistics over both relations for IDF weights.
+	// Serialize each record once and resolve its text profile through the
+	// shared cache: the profile's Uniq slice is the first-occurrence
+	// deduplicated token list every stage below needs, and the IDF
+	// statistics observe the same profiles.
+	cache := textsim.Shared()
+	profile := func(r record.Record) *textsim.Profile {
+		return cache.Get(record.SerializeRecord(r, record.SerializeOptions{}))
+	}
 	w := textsim.NewWeighter()
-	serialize := func(r record.Record) string {
-		return record.SerializeRecord(r, record.SerializeOptions{})
+	leftProfs := make([]*textsim.Profile, len(left))
+	for i, r := range left {
+		leftProfs[i] = profile(r)
+		w.ObserveProfile(leftProfs[i])
 	}
-	for _, r := range left {
-		w.Observe(serialize(r))
-	}
-	for _, r := range right {
-		w.Observe(serialize(r))
+	rightProfs := make([]*textsim.Profile, len(right))
+	for j, r := range right {
+		rightProfs[j] = profile(r)
+		w.ObserveProfile(rightProfs[j])
 	}
 
 	// Inverted index over the right relation.
 	index := make(map[string][]int)
-	rightTokens := make([][]string, len(right))
-	for j, r := range right {
-		toks := dedupe(textsim.Tokens(serialize(r)))
-		rightTokens[j] = toks
-		for _, t := range toks {
+	for j := range right {
+		for _, t := range rightProfs[j].Uniq {
 			index[t] = append(index[t], j)
 		}
 	}
@@ -87,9 +92,9 @@ func (b *Blocker) CandidatePairs(left, right []record.Record) []record.Pair {
 
 	var pairs []record.Pair
 	scores := make(map[int]float64)
-	for _, l := range left {
+	for li, l := range left {
 		clear(scores)
-		for _, t := range dedupe(textsim.Tokens(serialize(l))) {
+		for _, t := range leftProfs[li].Uniq {
 			idf := w.IDF(t)
 			if idf < idfGate {
 				continue // too common to anchor a block
@@ -142,17 +147,4 @@ func Recall(candidates []record.Pair, truth map[[2]string]bool) float64 {
 		}
 	}
 	return float64(found) / float64(len(truth))
-}
-
-func dedupe(toks []string) []string {
-	seen := make(map[string]struct{}, len(toks))
-	out := toks[:0]
-	for _, t := range toks {
-		if _, ok := seen[t]; ok {
-			continue
-		}
-		seen[t] = struct{}{}
-		out = append(out, t)
-	}
-	return out
 }

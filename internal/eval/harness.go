@@ -8,6 +8,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/record"
 	"repro/internal/stats"
+	"repro/internal/textsim"
 )
 
 // DatasetSeed fixes the benchmark data: the datasets themselves are
@@ -76,6 +77,12 @@ type Harness struct {
 	// task's SerializeOptions; the benchmark records are immutable, so all
 	// runs — sequential or parallel — share one read-mostly cache.
 	sercache *record.SerializeCache
+	// profcache is the shared text-profile cache behind every similarity
+	// kernel the matchers invoke. It is the process-wide textsim cache —
+	// profiles key on exact strings, so distinct harnesses can safely share
+	// it — held here so the parallel engine's workers and cache-stats
+	// reporting reach the same instance the kernels use.
+	profcache *textsim.ProfileCache
 }
 
 // NewHarness generates the benchmark and fixes the test partitions.
@@ -90,10 +97,11 @@ func NewHarness(cfg Config) *Harness {
 		cfg.MaxTest = MaxTestSamples
 	}
 	h := &Harness{
-		cfg:      cfg,
-		all:      datasets.GenerateAllParallel(DatasetSeed, par.Workers(cfg.Parallelism)),
-		test:     make(map[string][]int),
-		sercache: record.NewSerializeCache(),
+		cfg:       cfg,
+		all:       datasets.GenerateAllParallel(DatasetSeed, par.Workers(cfg.Parallelism)),
+		test:      make(map[string][]int),
+		sercache:  record.NewSerializeCache(),
+		profcache: textsim.Shared(),
 	}
 	for _, d := range h.all {
 		h.test[d.Name] = sampleTest(d, cfg.MaxTest)
@@ -112,6 +120,10 @@ func (h *Harness) Parallelism() int { return par.Workers(h.cfg.Parallelism) }
 // SerializationCache exposes the harness's shared cache, for benchmarks
 // and cache-effectiveness reporting.
 func (h *Harness) SerializationCache() *record.SerializeCache { return h.sercache }
+
+// ProfileCache exposes the shared text-profile cache the similarity
+// kernels run over, for benchmarks and cache-effectiveness reporting.
+func (h *Harness) ProfileCache() *textsim.ProfileCache { return h.profcache }
 
 // sampleTest draws the fixed ≤cap test indices for a dataset. The draw is
 // stratified-free uniform (as in the MatchGPT protocol) but deterministic,

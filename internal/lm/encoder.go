@@ -2,8 +2,6 @@ package lm
 
 import (
 	"math"
-	"sort"
-	"strings"
 
 	"repro/internal/mlcore"
 	"repro/internal/record"
@@ -77,6 +75,11 @@ func (e *Encoder) Encode(p record.Pair, opts record.SerializeOptions) mlcore.Spa
 	// Dense similarity summary features (indices 0..numDenseFeatures-1).
 	left := record.SerializeRecord(p.Left, opts)
 	right := record.SerializeRecord(p.Right, opts)
+	pl := textsim.Shared().Get(left)
+	pr := textsim.Shared().Get(right)
+	el := normEntryFor(left, caps)
+	er := normEntryFor(right, caps)
+	vec.Grow(numDenseFeatures + len(el.sorted) + len(er.sorted) + minInt(len(pl.Grams), len(pr.Grams)))
 	ev := extractEvidence(p, Capabilities{
 		Normalization: caps.Normalization,
 		Semantics:     caps.Semantics,
@@ -96,9 +99,9 @@ func (e *Encoder) Encode(p record.Pair, opts record.SerializeOptions) mlcore.Spa
 	}
 	dense(0, ev.Score)
 	dense(1, ev.Conflict)
-	dense(2, textsim.TokenJaccard(left, right))
-	dense(3, textsim.QGramJaccard(left, right))
-	dense(4, textsim.MongeElkanSym(firstNTokens(left, 8), firstNTokens(right, 8)))
+	dense(2, textsim.TokenJaccardP(pl, pr))
+	dense(3, textsim.QGramJaccardP(pl, pr))
+	dense(4, textsim.MongeElkanSymTokens(firstN(pl.Tokens, 8), firstN(pr.Tokens, 8)))
 	dense(5, lengthRatio(left, right))
 	dense(6, minAttrSim(ev.AttrSims))
 	dense(7, ev.IdentifierMatch)
@@ -115,32 +118,47 @@ func (e *Encoder) Encode(p record.Pair, opts record.SerializeOptions) mlcore.Spa
 	}
 	vec.Add(14, 1) // bias-like constant feature
 
-	// Hashed textual features: token agreement/disagreement. Tokens are
-	// sorted so the vector layout is fully deterministic.
-	lt := normalizeText(left, caps)
-	rt := normalizeText(right, caps)
-	setL := toSet(lt)
-	setR := toSet(rt)
-	for _, t := range sortedKeys(setL) {
-		if _, ok := setR[t]; ok {
-			e.addHashed(&vec, "both:"+t, 1.0)
+	// Hashed textual features: token agreement/disagreement, emitted over
+	// the cached lexicographically sorted unique-token slices so the
+	// vector layout is fully deterministic — the same order the old
+	// sortedKeys-over-map code produced, now without building either.
+	lt, rt := el.sorted, er.sorted
+	j := 0
+	for _, t := range lt {
+		for j < len(rt) && rt[j] < t {
+			j++
+		}
+		if j < len(rt) && rt[j] == t {
+			e.addHashedPrefixed(&vec, "both:", t, 1.0)
 		} else {
-			e.addHashed(&vec, "only:"+t, 0.6)
+			e.addHashedPrefixed(&vec, "only:", t, 0.6)
 		}
 	}
-	for _, t := range sortedKeys(setR) {
-		if _, ok := setL[t]; !ok {
-			e.addHashed(&vec, "only:"+t, 0.6)
+	j = 0
+	for _, t := range rt {
+		for j < len(lt) && lt[j] < t {
+			j++
+		}
+		if !(j < len(lt) && lt[j] == t) {
+			e.addHashedPrefixed(&vec, "only:", t, 0.6)
 		}
 	}
 
-	// Character n-gram agreement features (subword sensitivity).
+	// Character n-gram agreement features (subword sensitivity): shared
+	// trigrams via a merge join over the profiles' sorted gram slices.
 	if e.capacity.CharGrams {
-		gl := textsim.QGrams(left, 3)
-		gr := textsim.QGrams(right, 3)
-		for _, g := range sortedKeys(gl) {
-			if _, ok := gr[g]; ok {
-				e.addHashed(&vec, "g:"+g, 0.25)
+		gl, gr := pl.Grams, pr.Grams
+		i, j := 0, 0
+		for i < len(gl) && j < len(gr) {
+			switch {
+			case gl[i] < gr[j]:
+				i++
+			case gl[i] > gr[j]:
+				j++
+			default:
+				e.addHashedPrefixed(&vec, "g:", gl[i], 0.25)
+				i++
+				j++
 			}
 		}
 	}
@@ -151,10 +169,12 @@ func (e *Encoder) Encode(p record.Pair, opts record.SerializeOptions) mlcore.Spa
 	return vec
 }
 
-// addHashed hashes a textual feature into the tail of the feature space.
-func (e *Encoder) addHashed(vec *mlcore.SparseVec, feature string, weight float64) {
-	idx := numDenseFeatures + e.hasher.Index(feature)
-	vec.Add(idx, weight*e.hasher.Sign(feature))
+// addHashedPrefixed hashes a prefixed textual feature ("both:" + token)
+// into the tail of the feature space without materialising the
+// concatenated feature name.
+func (e *Encoder) addHashedPrefixed(vec *mlcore.SparseVec, prefix, feature string, weight float64) {
+	idx := numDenseFeatures + e.hasher.IndexPrefixed(prefix, feature)
+	vec.Add(idx, weight*e.hasher.SignPrefixed(prefix, feature))
 }
 
 // EncodeAttributePair featurises a single attribute-value pair, used by
@@ -188,30 +208,19 @@ func pairNoise(p record.Pair, idx int) float64 {
 	return float64(h>>11)/(1<<53) - 0.5
 }
 
-// sortedKeys returns the map keys in lexicographic order.
-func sortedKeys(m map[string]struct{}) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-func toSet(toks []string) map[string]struct{} {
-	s := make(map[string]struct{}, len(toks))
-	for _, t := range toks {
-		s[t] = struct{}{}
-	}
-	return s
-}
-
-func firstNTokens(s string, n int) string {
-	toks := textsim.Tokens(s)
+// firstN returns the first n tokens of a cached token slice (no copy).
+func firstN(toks []string, n int) []string {
 	if len(toks) > n {
-		toks = toks[:n]
+		return toks[:n]
 	}
-	return strings.Join(toks, " ")
+	return toks
+}
+
+func minInt(a, b int) int {
+	if b < a {
+		return b
+	}
+	return a
 }
 
 func lengthRatio(a, b string) float64 {

@@ -66,31 +66,25 @@ func extractEvidence(p record.Pair, caps Capabilities, idf *textsim.Weighter) Ev
 		AttrWeights: make([]float64, n),
 	}
 	var leftRare, rightRare []string
-	leftToks := make(map[string]struct{})
-	rightToks := make(map[string]struct{})
+	leftProfs := make([]*textsim.Profile, n)
+	rightProfs := make([]*textsim.Profile, n)
 	ev.MinShortSim = 1
 	for i := 0; i < n; i++ {
-		lv, rv := p.Left.Values[i], p.Right.Values[i]
-		ev.AttrSims[i] = attrSimilarity(lv, rv, caps, idf)
-		ev.AttrWeights[i] = attrWeight(lv, rv, caps, idf)
-		lr, rr := rareTokens(lv, caps, idf), rareTokens(rv, caps, idf)
-		leftRare = append(leftRare, lr...)
-		rightRare = append(rightRare, rr...)
-		for _, t := range textsim.Tokens(lv) {
-			leftToks[t] = struct{}{}
-		}
-		for _, t := range textsim.Tokens(rv) {
-			rightToks[t] = struct{}{}
-		}
+		le, re := valEntryFor(p.Left.Values[i]), valEntryFor(p.Right.Values[i])
+		ev.AttrSims[i] = attrSimilarityE(le, re, caps, idf)
+		ev.AttrWeights[i] = attrWeightE(le, re, caps, idf)
+		leftRare = appendRareTokens(leftRare, le, caps, idf)
+		rightRare = appendRareTokens(rightRare, re, caps, idf)
+		leftProfs[i] = le.prof
+		rightProfs[i] = re.prof
 		// Year disagreement on an aligned attribute.
-		if la, okA := parseLooseNumber(lv); okA {
-			if lb, okB := parseLooseNumber(rv); okB && isYearLike(la) && isYearLike(lb) && la != lb {
-				ev.YearConflict = 1
-			}
+		if le.looseOK && re.looseOK &&
+			isYearLike(le.looseNum) && isYearLike(re.looseNum) && le.looseNum != re.looseNum {
+			ev.YearConflict = 1
 		}
 		// Version agreement/disagreement inside aligned text values.
-		if !isNumberLike(lv) && !isNumberLike(rv) {
-			lvs, rvs := versionTokens(lv), versionTokens(rv)
+		if !le.looseOK && !re.looseOK {
+			lvs, rvs := le.versionToks, re.versionToks
 			if len(lvs) > 0 && len(rvs) > 0 {
 				shared := false
 				for _, a := range lvs {
@@ -109,15 +103,15 @@ func extractEvidence(p record.Pair, caps Capabilities, idf *textsim.Weighter) Ev
 		}
 		// Track the weakest short textual attribute: both sides present,
 		// short enough to read precisely, not a pure number.
-		lt, rt := textsim.Tokens(lv), textsim.Tokens(rv)
-		if len(lt) > 0 && len(rt) > 0 && len(lt) <= 12 && len(rt) <= 12 && !isNumberLike(lv) && !isNumberLike(rv) {
+		lt, rt := le.prof.Tokens, re.prof.Tokens
+		if len(lt) > 0 && len(rt) > 0 && len(lt) <= 12 && len(rt) <= 12 && !le.looseOK && !re.looseOK {
 			if ev.AttrSims[i] < ev.MinShortSim {
 				ev.MinShortSim = ev.AttrSims[i]
 			}
 		}
 	}
 	ev.Conflict, ev.IdentifierMatch = rareAgreement(leftRare, rightRare)
-	if contrastConflict(leftToks, rightToks, caps.Semantics) {
+	if contrastConflictProfiles(leftProfs, rightProfs, caps.Semantics) {
 		ev.ContrastConflict = 1
 	}
 
@@ -135,42 +129,44 @@ func extractEvidence(p record.Pair, caps Capabilities, idf *textsim.Weighter) Ev
 // attrSimilarity compares one aligned attribute value pair under the
 // model's capabilities.
 func attrSimilarity(a, b string, caps Capabilities, idf *textsim.Weighter) float64 {
-	a, b = strings.TrimSpace(a), strings.TrimSpace(b)
-	if a == "" && b == "" {
+	return attrSimilarityE(valEntryFor(a), valEntryFor(b), caps, idf)
+}
+
+// attrSimilarityE is attrSimilarity over cached value entries.
+func attrSimilarityE(va, vb *valEntry, caps Capabilities, idf *textsim.Weighter) float64 {
+	if va.trimmed == "" && vb.trimmed == "" {
 		return 0.5 // both missing: uninformative
 	}
-	if a == "" || b == "" {
+	if va.trimmed == "" || vb.trimmed == "" {
 		return 0.4 // one missing: weak negative evidence
 	}
 
 	// Numeric path: a numerate model parses both sides and compares values;
 	// an innumerate model falls back to string comparison of raw formats.
-	if na, okA := parseLooseNumber(a); okA {
-		if nb, okB := parseLooseNumber(b); okB {
-			numeric := numericCloseness(na, nb)
-			// Year-like integers carry identity semantics: a numerate
-			// reader knows 1999 ≠ 2003 even though they are relatively
-			// close; equality is what matters.
-			if isYearLike(na) && isYearLike(nb) {
-				if na == nb {
-					numeric = 1
-				} else {
-					numeric = 0.25
-				}
+	if va.looseOK && vb.looseOK {
+		numeric := numericCloseness(va.looseNum, vb.looseNum)
+		// Year-like integers carry identity semantics: a numerate
+		// reader knows 1999 ≠ 2003 even though they are relatively
+		// close; equality is what matters.
+		if isYearLike(va.looseNum) && isYearLike(vb.looseNum) {
+			if va.looseNum == vb.looseNum {
+				numeric = 1
+			} else {
+				numeric = 0.25
 			}
-			str := textsim.Levenshtein(strings.ToLower(a), strings.ToLower(b))
-			return caps.Numeracy*numeric + (1-caps.Numeracy)*str
 		}
+		str := textsim.Levenshtein(va.lowerTrim, vb.lowerTrim)
+		return caps.Numeracy*numeric + (1-caps.Numeracy)*str
 	}
 
-	la := normalizeText(a, caps)
-	lb := normalizeText(b, caps)
+	la := normEntryFor(va.trimmed, caps)
+	lb := normEntryFor(vb.trimmed, caps)
 
 	// Token-set similarity with attention-gated IDF weighting.
 	tokSim := weightedOverlap(la, lb, caps.Attention, idf)
 
 	// Character-level similarity catches typos that token matching misses.
-	charSim := textsim.QGramJaccard(strings.Join(la, " "), strings.Join(lb, " "))
+	charSim := textsim.QGramJaccardP(la.joined, lb.joined)
 
 	sim := 0.65*tokSim + 0.35*charSim
 
@@ -179,20 +175,23 @@ func attrSimilarity(a, b string, caps Capabilities, idf *textsim.Weighter) float
 	// non-robust model is swamped by the raw text and effectively compares
 	// everything, so its perceived similarity collapses toward the raw
 	// unweighted overlap.
-	if len(la) > 8 || len(lb) > 8 {
-		raw := textsim.TokenJaccard(a, b)
+	if len(la.toks) > 8 || len(lb.toks) > 8 {
+		raw := textsim.TokenJaccardP(va.prof, vb.prof)
 		sim = caps.Robustness*sim + (1-caps.Robustness)*raw
 	}
 	return sim
 }
 
 // weightedOverlap computes a soft token-overlap score where token weights
-// interpolate between uniform (attention = 0) and IDF (attention = 1).
-func weightedOverlap(a, b []string, attention float64, idf *textsim.Weighter) float64 {
-	if len(a) == 0 && len(b) == 0 {
+// interpolate between uniform (attention = 0) and IDF (attention = 1). The
+// unique tokens of each side are merge-joined over the cached sorted
+// slices; the sums match the old map-based implementation (whose iteration
+// order was unspecified) up to float addition order.
+func weightedOverlap(a, b *normEntry, attention float64, idf *textsim.Weighter) float64 {
+	if len(a.toks) == 0 && len(b.toks) == 0 {
 		return 0.5
 	}
-	if len(a) == 0 || len(b) == 0 {
+	if len(a.toks) == 0 || len(b.toks) == 0 {
 		return 0
 	}
 	weight := func(t string) float64 {
@@ -202,26 +201,30 @@ func weightedOverlap(a, b []string, attention float64, idf *textsim.Weighter) fl
 		}
 		return w
 	}
-	setA := make(map[string]struct{}, len(a))
-	for _, t := range a {
-		setA[t] = struct{}{}
-	}
-	setB := make(map[string]struct{}, len(b))
-	for _, t := range b {
-		setB[t] = struct{}{}
-	}
 	var inter, union float64
-	for t := range setA {
-		w := weight(t)
-		union += w
-		if _, ok := setB[t]; ok {
+	sa, sb := a.sorted, b.sorted
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		switch {
+		case sa[i] < sb[j]:
+			union += weight(sa[i])
+			i++
+		case sa[i] > sb[j]:
+			union += weight(sb[j])
+			j++
+		default:
+			w := weight(sa[i])
+			union += w
 			inter += w
+			i++
+			j++
 		}
 	}
-	for t := range setB {
-		if _, ok := setA[t]; !ok {
-			union += weight(t)
-		}
+	for ; i < len(sa); i++ {
+		union += weight(sa[i])
+	}
+	for ; j < len(sb); j++ {
+		union += weight(sb[j])
 	}
 	if union == 0 {
 		return 0
@@ -238,7 +241,12 @@ func weightedOverlap(a, b []string, attention float64, idf *textsim.Weighter) fl
 // interpolates, and caps.Robustness additionally controls how firmly
 // missing values are discounted.
 func attrWeight(a, b string, caps Capabilities, idf *textsim.Weighter) float64 {
-	ta, tb := textsim.Tokens(a), textsim.Tokens(b)
+	return attrWeightE(valEntryFor(a), valEntryFor(b), caps, idf)
+}
+
+// attrWeightE is attrWeight over cached value entries.
+func attrWeightE(va, vb *valEntry, caps Capabilities, idf *textsim.Weighter) float64 {
+	ta, tb := va.prof.Tokens, vb.prof.Tokens
 	la, lb := len(ta), len(tb)
 	avg := float64(la+lb) / 2
 
@@ -250,11 +258,11 @@ func attrWeight(a, b string, caps Capabilities, idf *textsim.Weighter) float64 {
 		// weights the absence by how much the present side *would have*
 		// corroborated — a missing title is damning, a missing price is
 		// noise. A weak reader mostly skips the blank.
-		present := a
+		present := va
 		if la == 0 {
-			present = b
+			present = vb
 		}
-		wouldBe := presentWeight(present, idf)
+		wouldBe := presentWeightP(present.prof, idf)
 		return (1-caps.Attention)*0.25 + caps.Attention*0.85*wouldBe
 	}
 
@@ -266,7 +274,11 @@ func attrWeight(a, b string, caps Capabilities, idf *textsim.Weighter) float64 {
 	info := 0.0
 	if idf != nil {
 		sum, cnt := 0.0, 0
-		for _, t := range append(append([]string{}, ta...), tb...) {
+		for _, t := range ta {
+			sum += idf.IDF(t)
+			cnt++
+		}
+		for _, t := range tb {
 			sum += idf.IDF(t)
 			cnt++
 		}
@@ -294,7 +306,12 @@ func attrWeight(a, b string, caps Capabilities, idf *textsim.Weighter) float64 {
 // presentWeight is the expert informativeness of a single value, used to
 // weight one-side-missing attributes by the evidence they fail to provide.
 func presentWeight(v string, idf *textsim.Weighter) float64 {
-	toks := textsim.Tokens(v)
+	return presentWeightP(textsim.Shared().Get(v), idf)
+}
+
+// presentWeightP is presentWeight over a cached profile.
+func presentWeightP(p *textsim.Profile, idf *textsim.Weighter) float64 {
+	toks := p.Tokens
 	if len(toks) == 0 {
 		return 0.05
 	}
@@ -326,23 +343,28 @@ func presentWeight(v string, idf *textsim.Weighter) float64 {
 // long alphanumerics). Only attention-capable models extract them reliably:
 // the returned set is filtered through the capability gate.
 func rareTokens(v string, caps Capabilities, idf *textsim.Weighter) []string {
-	var out []string
-	// Split on whitespace (not punctuation) so composite identifiers like
-	// "xy-12345" and versions like "4.0" survive as single tokens.
-	for _, f := range strings.Fields(strings.ToLower(v)) {
-		t := strings.Trim(f, ",;:!?\"'()[]$€£")
-		if t == "" || !isIdentifierToken(t) {
-			continue
-		}
-		if idf != nil && idf.IDF(t) < 2.0 {
+	return appendRareTokens(nil, valEntryFor(v), caps, idf)
+}
+
+// appendRareTokens appends the rare tokens of a cached value entry to dst.
+// The whitespace split, punctuation trim and identifier-shape filter are
+// precomputed in the entry (they depend only on the value); the IDF-rarity
+// and attention gates run per call because the IDF table mutates as
+// matchers observe corpora. Splitting happens on whitespace (not
+// punctuation) so composite identifiers like "xy-12345" and versions like
+// "4.0" survive as single tokens.
+func appendRareTokens(dst []string, e *valEntry, caps Capabilities, idf *textsim.Weighter) []string {
+	for _, c := range e.identCands {
+		if idf != nil && idf.IDF(c.tok) < 2.0 {
 			continue // actually a common token
 		}
-		if !knowsAttend("rare:"+t, caps.Attention) {
+		// knowsAttend("rare:"+tok, attention) with the draws precomputed.
+		if !(c.uA < caps.Attention || c.uB < caps.Attention) {
 			continue // model fails to attend to this identifier
 		}
-		out = append(out, t)
+		dst = append(dst, c.tok)
 	}
-	return out
+	return dst
 }
 
 // looksDiscriminative reports whether a token has identifier shape: it

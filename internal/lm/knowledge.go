@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"hash/fnv"
 	"strings"
+	"sync"
+
+	"repro/internal/textsim"
 )
 
 // knowledgeBase is the world-knowledge dictionary that zero-shot models
@@ -180,6 +183,69 @@ func contrastConflict(a, b map[string]struct{}, coverage float64) bool {
 	return false
 }
 
+// contrastFam is one contrast family with its member tokens interned in
+// the shared textsim ID space and its coverage draw precomputed.
+type contrastFam struct {
+	ids []uint32
+	u   float64
+}
+
+var (
+	contrastOnce sync.Once
+	contrastFams []contrastFam
+)
+
+// contrastFamilies interns the contrast-set members once; profile-based
+// membership checks are then binary searches over sorted token IDs.
+func contrastFamilies() []contrastFam {
+	contrastOnce.Do(func() {
+		contrastFams = make([]contrastFam, len(contrastSets))
+		for fi, family := range contrastSets {
+			fam := contrastFam{
+				ids: make([]uint32, len(family)),
+				u:   knowsU(fmt.Sprintf("contrast:%d", fi)),
+			}
+			for mi, m := range family {
+				fam.ids[mi] = textsim.Intern(m)
+			}
+			contrastFams[fi] = fam
+		}
+	})
+	return contrastFams
+}
+
+// contrastConflictProfiles is contrastConflict over the token profiles of
+// each side's attribute values: a family member is "present" when any
+// value's token set contains it, which reproduces the union token set the
+// map-based form was called with. As there, the *last* present member of a
+// family represents each side.
+func contrastConflictProfiles(left, right []*textsim.Profile, coverage float64) bool {
+	for _, fam := range contrastFamilies() {
+		if fam.u >= coverage {
+			continue // model does not know this family
+		}
+		inA, inB := -1, -1
+		for mi, id := range fam.ids {
+			for _, p := range left {
+				if p.HasToken(id) {
+					inA = mi
+					break
+				}
+			}
+			for _, p := range right {
+				if p.HasToken(id) {
+					inB = mi
+					break
+				}
+			}
+		}
+		if inA >= 0 && inB >= 0 && inA != inB {
+			return true
+		}
+	}
+	return false
+}
+
 // knowsAttend is the attention gate for identifier tokens. Real readers
 // get several chances to notice an identifier (title, spec field,
 // description), so the gate passes if either of two independent draws
@@ -196,6 +262,14 @@ func knowsAttend(entry string, coverage float64) bool {
 // higher coverage knows a superset of what a weaker model knows, matching
 // the monotone capability ladder of real model families.
 func knows(entry string, coverage float64) bool {
+	return knowsU(entry) < coverage
+}
+
+// knowsU returns the deterministic uniform draw in [0, 1) behind knows;
+// callers that gate the same entry repeatedly (identifier attention,
+// contrast families) precompute it once and compare against coverage per
+// call.
+func knowsU(entry string) float64 {
 	h := fnv.New64a()
 	h.Write([]byte(entry))
 	// FNV-1a mixes trailing-byte differences poorly into the high bits;
@@ -205,8 +279,7 @@ func knows(entry string, coverage float64) bool {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31
-	u := float64(z>>11) / (1 << 53)
-	return u < coverage
+	return float64(z>>11) / (1 << 53)
 }
 
 // normalizeToken applies the knowledge base to a single token given the

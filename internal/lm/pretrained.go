@@ -2,6 +2,7 @@ package lm
 
 import (
 	"strings"
+	"sync"
 
 	"repro/internal/textsim"
 )
@@ -35,14 +36,29 @@ var pretrainingCorpus = []string{
 	"fresh ingredients and daily specials at the corner cafe downtown",
 }
 
+// pretrainedBase is the pretraining-corpus IDF table, built once: every
+// encoder and prompt model used to rebuild it from scratch (one per
+// matcher per LODO cell), yet the corpus is a package constant.
+var (
+	pretrainedOnce sync.Once
+	pretrainedBase *textsim.Weighter
+)
+
 // pretrainedWeighter returns an IDF weighter seeded with the pretraining
-// corpus.
+// corpus. The table is constructed once; callers receive a copy-on-observe
+// snapshot, so matchers that absorb fine-tuning statistics still get a
+// private table while zero-shot callers share the frozen base map.
 func pretrainedWeighter() *textsim.Weighter {
-	w := textsim.NewWeighter()
-	for _, doc := range pretrainingCorpus {
-		w.Observe(doc)
-	}
-	return w
+	pretrainedOnce.Do(func() {
+		w := textsim.NewWeighter()
+		for _, doc := range pretrainingCorpus {
+			w.Observe(doc)
+		}
+		// First snapshot inside the Once marks the base shared, making
+		// later concurrent snapshots read-only.
+		pretrainedBase = w.Snapshot()
+	})
+	return pretrainedBase.Snapshot()
 }
 
 // PromptTokens estimates the token length of a serialized pair prompt, the

@@ -1,0 +1,167 @@
+package lm
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/textsim"
+)
+
+// This file holds the lm-level text caches layered over textsim's profile
+// cache. Evidence extraction derives several quantities from each raw
+// attribute value (trimmed form, loose number, version tokens, identifier
+// candidates) and from each (value, capabilities) pair (normalised token
+// list); all of them are pure functions of their key over a small fixed
+// universe of record values, so both layers are read-mostly maps in the
+// style of record.SerializeCache.
+
+// valEntry caches the capability-independent derivations of one raw
+// attribute value.
+type valEntry struct {
+	// prof is the textsim profile of the raw value (token lists, sorted
+	// IDs, trigrams, parsed number).
+	prof *textsim.Profile
+	// trimmed is strings.TrimSpace of the value; attrSimilarity's
+	// missing-value checks run on it.
+	trimmed string
+	// lowerTrim is strings.ToLower(trimmed), the form the innumerate
+	// fallback Levenshtein comparison uses.
+	lowerTrim string
+	// looseNum/looseOK memoise parseLooseNumber of the value.
+	looseNum float64
+	looseOK  bool
+	// versionToks memoises versionTokens of the value.
+	versionToks []string
+	// identCands holds the identifier-shaped rare-token candidates with
+	// their attention-gate draws precomputed; rareTokens filters them per
+	// call against the (mutable) IDF table and the model's Attention.
+	identCands []identCand
+}
+
+// identCand is one identifier-shaped token with the two deterministic
+// uniform draws of knowsAttend("rare:"+tok) precomputed, so the per-call
+// gate is two float comparisons instead of two hashes of concatenated
+// strings.
+type identCand struct {
+	tok    string
+	uA, uB float64
+}
+
+var valCache = struct {
+	sync.RWMutex
+	m map[string]*valEntry
+}{m: make(map[string]*valEntry)}
+
+// valEntryFor returns the memoised capability-independent entry for a raw
+// attribute value.
+func valEntryFor(v string) *valEntry {
+	valCache.RLock()
+	e := valCache.m[v]
+	valCache.RUnlock()
+	if e != nil {
+		return e
+	}
+	e = buildValEntry(v)
+	valCache.Lock()
+	if q, ok := valCache.m[v]; ok {
+		e = q
+	} else {
+		valCache.m[v] = e
+	}
+	valCache.Unlock()
+	return e
+}
+
+func buildValEntry(v string) *valEntry {
+	trimmed := strings.TrimSpace(v)
+	e := &valEntry{
+		prof:        textsim.Shared().Get(v),
+		trimmed:     trimmed,
+		lowerTrim:   strings.ToLower(trimmed),
+		versionToks: versionTokens(v),
+	}
+	e.looseNum, e.looseOK = parseLooseNumber(v)
+	// Identifier candidates: the split/trim/shape part of rareTokens,
+	// which does not depend on capabilities or corpus statistics.
+	for _, f := range strings.Fields(strings.ToLower(v)) {
+		t := strings.Trim(f, ",;:!?\"'()[]$€£")
+		if t == "" || !isIdentifierToken(t) {
+			continue
+		}
+		e.identCands = append(e.identCands, identCand{
+			tok: t,
+			uA:  knowsU("rare:" + t + "#a"),
+			uB:  knowsU("rare:" + t + "#b"),
+		})
+	}
+	return e
+}
+
+// normKey keys the normalised-text cache: normalizeText depends on the
+// text and on the Normalization and Semantics capabilities only.
+type normKey struct {
+	norm, sem float64
+	text      string
+}
+
+// normEntry caches one normalizeText result in the three shapes its
+// consumers need.
+type normEntry struct {
+	// toks is the normalizeText output, duplicates and order preserved.
+	toks []string
+	// sorted holds the unique tokens in lexicographic order; overlap
+	// scores and the encoder's both/only features merge-join over it.
+	sorted []string
+	// joined is the profile of strings.Join(toks, " "), the input of the
+	// character-gram comparison in attrSimilarity.
+	joined *textsim.Profile
+}
+
+var normCache = struct {
+	sync.RWMutex
+	m map[normKey]*normEntry
+}{m: make(map[normKey]*normEntry)}
+
+// normEntryFor returns the memoised normalised form of text under the
+// model's capabilities.
+func normEntryFor(text string, caps Capabilities) *normEntry {
+	key := normKey{norm: caps.Normalization, sem: caps.Semantics, text: text}
+	normCache.RLock()
+	e := normCache.m[key]
+	normCache.RUnlock()
+	if e != nil {
+		return e
+	}
+	toks := normalizeText(text, caps)
+	e = &normEntry{
+		toks:   toks,
+		sorted: sortedUniqueTokens(toks),
+		joined: textsim.Shared().Get(strings.Join(toks, " ")),
+	}
+	normCache.Lock()
+	if q, ok := normCache.m[key]; ok {
+		e = q
+	} else {
+		normCache.m[key] = e
+	}
+	normCache.Unlock()
+	return e
+}
+
+// sortedUniqueTokens returns the distinct tokens in lexicographic order.
+func sortedUniqueTokens(toks []string) []string {
+	if len(toks) == 0 {
+		return nil
+	}
+	out := append([]string(nil), toks...)
+	sort.Strings(out)
+	j := 0
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[j] {
+			j++
+			out[j] = out[i]
+		}
+	}
+	return out[:j+1]
+}

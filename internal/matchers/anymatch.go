@@ -174,10 +174,11 @@ func (m *AnyMatch) selectHard(pool []transferPair, rng *stats.RNG) []int {
 func cheapFeatures(p record.Pair) []float64 {
 	left := record.SerializeRecord(p.Left, record.SerializeOptions{})
 	right := record.SerializeRecord(p.Right, record.SerializeOptions{})
+	pl, pr := textsim.Shared().Get(left), textsim.Shared().Get(right)
 	return []float64{
-		textsim.TokenJaccard(left, right),
-		textsim.QGramJaccard(left, right),
-		textsim.TokenOverlap(left, right),
+		textsim.TokenJaccardP(pl, pr),
+		textsim.QGramJaccardP(pl, pr),
+		textsim.TokenOverlapP(pl, pr),
 		float64(len(left)+len(right)) / 200,
 	}
 }

@@ -58,7 +58,8 @@ func (m *Cascade) Train(transfer []*record.Dataset, rng *stats.RNG) {
 func cheapScore(p record.Pair, opts record.SerializeOptions) float64 {
 	left := record.SerializeRecord(p.Left, opts)
 	right := record.SerializeRecord(p.Right, opts)
-	return 0.5*textsim.TokenJaccard(left, right) + 0.5*textsim.QGramJaccard(left, right)
+	pl, pr := textsim.Shared().Get(left), textsim.Shared().Get(right)
+	return 0.5*textsim.TokenJaccardP(pl, pr) + 0.5*textsim.QGramJaccardP(pl, pr)
 }
 
 // Predict implements Matcher.

@@ -143,5 +143,5 @@ func selectDemos(transfer []*record.Dataset, strategy lm.DemoStrategy, n int, rn
 func demoClarity(p record.LabeledPair) float64 {
 	left := record.SerializeRecord(p.Left, record.SerializeOptions{})
 	right := record.SerializeRecord(p.Right, record.SerializeOptions{})
-	return textsim.TokenJaccard(left, right)
+	return textsim.TokenJaccardP(textsim.Shared().Get(left), textsim.Shared().Get(right))
 }

@@ -36,6 +36,12 @@ func (m *StringSim) Predict(task Task) []bool {
 	for i, p := range task.Pairs {
 		left := record.SerializeRecord(p.Left, task.Opts)
 		right := record.SerializeRecord(p.Right, task.Opts)
+		// Length bound first: the ratio can never exceed
+		// 2·min(|l|,|r|)/(|l|+|r|), so very asymmetric pairs skip the
+		// quadratic matching entirely without changing any decision.
+		if textsim.RatcliffUpperBound(left, right) <= m.Threshold {
+			continue
+		}
 		out[i] = textsim.RatcliffObershelp(left, right) > m.Threshold
 	}
 	return out

@@ -87,7 +87,8 @@ func (m *ZeroER) similarityVector(p record.Pair, schema record.Schema) []float64
 	}
 	left := record.SerializeRecord(p.Left, record.SerializeOptions{})
 	right := record.SerializeRecord(p.Right, record.SerializeOptions{})
-	vec = append(vec, textsim.TokenJaccard(left, right), textsim.QGramJaccard(left, right))
+	pl, pr := textsim.Shared().Get(left), textsim.Shared().Get(right)
+	vec = append(vec, textsim.TokenJaccardP(pl, pr), textsim.QGramJaccardP(pl, pr))
 	return vec
 }
 
@@ -107,6 +108,7 @@ func typedSimilarity(a, b string, t record.AttrType) float64 {
 	case record.AttrShort:
 		return textsim.JaroWinkler(a, b)
 	default:
-		return 0.5*textsim.TokenJaccard(a, b) + 0.5*textsim.QGramJaccard(a, b)
+		pa, pb := textsim.Shared().Get(a), textsim.Shared().Get(b)
+		return 0.5*textsim.TokenJaccardP(pa, pb) + 0.5*textsim.QGramJaccardP(pa, pb)
 	}
 }

@@ -45,3 +45,39 @@ func (h *Hasher) Sign(feature string) float64 {
 func (h *Hasher) AddFeature(vec *SparseVec, feature string, weight float64) {
 	vec.Add(h.Index(feature), weight*h.Sign(feature))
 }
+
+// FNV-1a constants matching hash/fnv's 64-bit variant, inlined so prefixed
+// feature names ("both:" + token) hash without materialising the
+// concatenated string: FNV over prefix-then-feature equals FNV over their
+// concatenation.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func fnvAdd(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// IndexPrefixed is Index(prefix + feature) without the concatenation
+// allocation.
+func (h *Hasher) IndexPrefixed(prefix, feature string) int {
+	sum := fnvAdd(fnvAdd(fnvOffset64, prefix), feature)
+	return int(sum % uint64(h.width))
+}
+
+// SignPrefixed is Sign(prefix + feature) without the concatenation
+// allocation.
+func (h *Hasher) SignPrefixed(prefix, feature string) float64 {
+	sum := fnvAdd(fnvAdd(fnvOffset64, prefix), feature)
+	sum ^= 0x5a
+	sum *= fnvPrime64
+	if sum&1 == 0 {
+		return 1
+	}
+	return -1
+}

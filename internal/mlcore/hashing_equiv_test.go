@@ -1,0 +1,41 @@
+package mlcore
+
+import "testing"
+
+// TestPrefixedHashingEquivalence pins the allocation-free prefixed hash
+// against the straightforward concatenate-then-hash path: the encoder's
+// feature indices and signs must be identical either way, or hashed
+// feature vectors silently change.
+func TestPrefixedHashingEquivalence(t *testing.T) {
+	prefixes := []string{"", "both:", "only:", "g:", "attr:", "北:"}
+	features := []string{"", "token", "Token", "1,234", "$99.00", "##ab", "北京", "🙂", "a b c"}
+	for _, width := range []int{1, 7, 4096, 1 << 18} {
+		h := NewHasher(width)
+		for _, p := range prefixes {
+			for _, f := range features {
+				if got, want := h.IndexPrefixed(p, f), h.Index(p+f); got != want {
+					t.Errorf("width %d: IndexPrefixed(%q, %q) = %d, Index(%q) = %d", width, p, f, got, p+f, want)
+				}
+				if got, want := h.SignPrefixed(p, f), h.Sign(p+f); got != want {
+					t.Errorf("width %d: SignPrefixed(%q, %q) = %v, Sign(%q) = %v", width, p, f, got, p+f, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSparseVecGrow checks Grow preserves contents and Add-order
+// semantics after reallocation.
+func TestSparseVecGrow(t *testing.T) {
+	var v SparseVec
+	v.Add(3, 1.5)
+	v.Add(1, -2.0)
+	v.Grow(100)
+	v.Add(3, 0.5) // duplicate index accumulates on Dot just like before
+	if len(v.Idx) != 3 || v.Idx[0] != 3 || v.Idx[1] != 1 || v.Idx[2] != 3 {
+		t.Fatalf("Grow disturbed emission order: idx=%v", v.Idx)
+	}
+	if v.Val[0] != 1.5 || v.Val[1] != -2.0 || v.Val[2] != 0.5 {
+		t.Fatalf("Grow disturbed values: val=%v", v.Val)
+	}
+}

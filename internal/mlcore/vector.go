@@ -28,6 +28,19 @@ func (v *SparseVec) Add(idx int, val float64) {
 	v.Val = append(v.Val, val)
 }
 
+// Grow ensures capacity for at least n additional entries, so encoders
+// that know the feature count up front avoid append's doubling copies.
+func (v *SparseVec) Grow(n int) {
+	if need := len(v.Idx) + n; need > cap(v.Idx) {
+		idx := make([]int, len(v.Idx), need)
+		copy(idx, v.Idx)
+		v.Idx = idx
+		val := make([]float64, len(v.Val), need)
+		copy(val, v.Val)
+		v.Val = val
+	}
+}
+
 // NNZ returns the number of stored entries.
 func (v *SparseVec) NNZ() int { return len(v.Idx) }
 

@@ -214,18 +214,16 @@ func (g *Ingestor) Stats() Stats {
 }
 
 // indexTokens selects the tokens worth indexing for a record: deduplicated
-// word tokens of the serialized values, skipping single characters.
+// word tokens of the serialized values, skipping single characters. The
+// shared profile cache supplies the deduplicated token list (streams
+// re-serialize the same indexed records on every candidate scoring pass).
 func indexTokens(r record.Record) []string {
-	seen := make(map[string]struct{})
+	p := textsim.Shared().Get(record.SerializeRecord(r, record.SerializeOptions{}))
 	var out []string
-	for _, t := range textsim.Tokens(record.SerializeRecord(r, record.SerializeOptions{})) {
+	for _, t := range p.Uniq {
 		if len(t) < 2 {
 			continue
 		}
-		if _, ok := seen[t]; ok {
-			continue
-		}
-		seen[t] = struct{}{}
 		out = append(out, t)
 	}
 	return out

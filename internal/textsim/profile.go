@@ -1,0 +1,432 @@
+package textsim
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Profile is the precomputed text profile of one string: everything the
+// similarity kernels need, computed once per distinct string instead of
+// once per pair evaluation. A full leave-one-dataset-out study evaluates
+// the same fixed records hundreds of times per matcher and seed, so the
+// per-pair substrate cost collapses to merge joins over these precomputed
+// sorted slices — no lowercasing, tokenizing, map building or sorting on
+// the hot path.
+//
+// Profiles are immutable after construction and therefore safe to share
+// across goroutines.
+type Profile struct {
+	// Raw is the original string the profile was built from.
+	Raw string
+	// Lower is the lowercased form (aliases Raw when already lowercase).
+	Lower string
+	// Tokens holds the word tokens of Lower in occurrence order, exactly
+	// as Tokens(Raw) returns them.
+	Tokens []string
+	// Uniq holds Tokens deduplicated in first-occurrence order — the order
+	// legacy map-free dedup loops produced, preserved for callers whose
+	// float accumulation order matters (blocking, corpus observation).
+	Uniq []string
+	// SortedIDs holds the unique token IDs (shared interner), ascending.
+	// Set-intersection kernels merge-join over this slice.
+	SortedIDs []uint32
+	// TF holds the term frequency of each token, aligned with SortedIDs.
+	TF []float64
+	// Grams holds the unique padded trigrams of Lower in lexicographic
+	// order (the iteration order the encoder's character-gram features
+	// require).
+	Grams []string
+	// GramHashes holds the FNV-1a hashes of the unique trigrams in
+	// ascending order; the q-gram Jaccard kernel merge-joins over it.
+	GramHashes []uint64
+	// Num is the parsed numeric value of Raw and IsNum whether Raw parses
+	// as a number (currency symbols and thousands separators tolerated).
+	Num   float64
+	IsNum bool
+}
+
+// HasToken reports whether the profile's token set contains the token
+// with the given shared-interner ID (see Intern).
+func (p *Profile) HasToken(id uint32) bool {
+	ids := p.SortedIDs
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ids) && ids[lo] == id
+}
+
+// NewProfile builds the profile of s against the shared interner. Prefer
+// ProfileCache.Get, which memoises construction.
+func NewProfile(s string) *Profile {
+	return newProfile(s, sharedInterner)
+}
+
+func newProfile(s string, in *Interner) *Profile {
+	p := &Profile{Raw: s, Lower: lowerString(s)}
+	p.Tokens = Tokens(p.Lower)
+	if n := len(p.Tokens); n > 0 {
+		ids := make([]uint32, n)
+		for i, t := range p.Tokens {
+			ids[i] = in.ID(t)
+		}
+		sorted := append([]uint32(nil), ids...)
+		sortUint32(sorted)
+		uniqIDs := sorted[:0]
+		tf := make([]float64, 0, n)
+		for i := 0; i < len(sorted); {
+			j := i + 1
+			for j < len(sorted) && sorted[j] == sorted[i] {
+				j++
+			}
+			uniqIDs = append(uniqIDs, sorted[i])
+			tf = append(tf, float64(j-i))
+			i = j
+		}
+		p.SortedIDs = uniqIDs
+		p.TF = tf
+		seen := make(map[uint32]struct{}, len(uniqIDs))
+		uniq := make([]string, 0, len(uniqIDs))
+		for i, t := range p.Tokens {
+			if _, ok := seen[ids[i]]; ok {
+				continue
+			}
+			seen[ids[i]] = struct{}{}
+			uniq = append(uniq, t)
+		}
+		p.Uniq = uniq
+	}
+	p.Grams, p.GramHashes = trigramProfile(p.Lower)
+	p.Num, p.IsNum = parseNumberProfile(s)
+	return p
+}
+
+// lowerString lowercases s, returning s itself when it contains no
+// uppercase ASCII and no multi-byte runes (the overwhelmingly common case
+// for benchmark text, which saves the allocation).
+func lowerString(s string) string {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 || ('A' <= c && c <= 'Z') {
+			return strings.ToLower(s)
+		}
+	}
+	return s
+}
+
+// trigramProfile computes the unique padded trigrams of an
+// already-lowercased string, both as lexicographically sorted strings and
+// as ascending FNV-1a hashes.
+func trigramProfile(lower string) ([]string, []uint64) {
+	padded := "##" + lower + "##"
+	rs := []rune(padded)
+	set := make(map[string]struct{}, len(rs))
+	for i := 0; i+3 <= len(rs); i++ {
+		set[string(rs[i:i+3])] = struct{}{}
+	}
+	grams := make([]string, 0, len(set))
+	for g := range set {
+		grams = append(grams, g)
+	}
+	sort.Strings(grams)
+	hashes := make([]uint64, len(grams))
+	for i, g := range grams {
+		hashes[i] = fnv64a(g)
+	}
+	sortUint64(hashes)
+	return grams, hashes
+}
+
+func parseNumberProfile(s string) (float64, bool) {
+	v, err := parseNumber(s)
+	return v, err == nil
+}
+
+// fnv64a is the 64-bit FNV-1a hash of s.
+func fnv64a(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func sortUint32(xs []uint32) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func sortUint64(xs []uint64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// ProfileCache memoises text profiles, keyed by the exact string. Like
+// record.SerializeCache it is read-mostly: a profile is built once under
+// the write lock and then only read, which fits the parallel evaluation
+// engine's access pattern. All caches share the process-wide interner, so
+// profiles from different caches remain comparable.
+type ProfileCache struct {
+	mu sync.RWMutex
+	m  map[string]*Profile
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewProfileCache returns an empty cache backed by the shared interner.
+func NewProfileCache() *ProfileCache {
+	return &ProfileCache{m: make(map[string]*Profile)}
+}
+
+// Get returns the memoised profile of s, building it on first sight.
+func (c *ProfileCache) Get(s string) *Profile {
+	c.mu.RLock()
+	p := c.m[s]
+	c.mu.RUnlock()
+	if p != nil {
+		c.hits.Add(1)
+		return p
+	}
+	c.misses.Add(1)
+	p = newProfile(s, sharedInterner)
+	c.mu.Lock()
+	if q, ok := c.m[s]; ok {
+		p = q
+	} else {
+		c.m[s] = p
+	}
+	c.mu.Unlock()
+	return p
+}
+
+// Len returns the number of cached profiles.
+func (c *ProfileCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Stats reports cumulative hit and miss counts, for benchmarks and
+// capacity planning.
+func (c *ProfileCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// sharedProfiles is the process-wide cache behind the string-based kernel
+// wrappers; its memory is bounded by the distinct strings observed, the
+// same contract as record.SerializeCache.
+var sharedProfiles = NewProfileCache()
+
+// Shared returns the process-wide profile cache used by the string-based
+// similarity wrappers.
+func Shared() *ProfileCache { return sharedProfiles }
+
+// intersectIDs returns |a ∩ b| for two ascending unique ID slices.
+func intersectIDs(a, b []uint32) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// intersectHashes returns |a ∩ b| for two ascending unique hash slices.
+func intersectHashes(a, b []uint64) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// TokenJaccardP is the profile form of TokenJaccard: Jaccard similarity
+// of the word-token sets, via a merge join over the sorted interned IDs.
+func TokenJaccardP(a, b *Profile) float64 {
+	na, nb := len(a.SortedIDs), len(b.SortedIDs)
+	if na == 0 && nb == 0 {
+		return 1
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	inter := intersectIDs(a.SortedIDs, b.SortedIDs)
+	return float64(inter) / float64(na+nb-inter)
+}
+
+// TokenOverlapP is the profile form of TokenOverlap: the overlap
+// coefficient |A∩B| / min(|A|, |B|) of the word-token sets.
+func TokenOverlapP(a, b *Profile) float64 {
+	na, nb := len(a.SortedIDs), len(b.SortedIDs)
+	if na == 0 && nb == 0 {
+		return 1
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	inter := intersectIDs(a.SortedIDs, b.SortedIDs)
+	minLen := na
+	if nb < minLen {
+		minLen = nb
+	}
+	return float64(inter) / float64(minLen)
+}
+
+// QGramJaccardP is the profile form of QGramJaccard (q = 3): Jaccard
+// similarity of the padded trigram sets, via a merge join over the sorted
+// trigram hashes.
+func QGramJaccardP(a, b *Profile) float64 {
+	na, nb := len(a.GramHashes), len(b.GramHashes)
+	if na == 0 && nb == 0 {
+		return 1
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	inter := intersectHashes(a.GramHashes, b.GramHashes)
+	return float64(inter) / float64(na+nb-inter)
+}
+
+// CosineTFP is the profile form of CosineTF: cosine similarity of the
+// term-frequency vectors, via a merge join over sorted IDs. Exact versus
+// the map-based implementation because term frequencies are integers, so
+// every partial sum is exact in float64 regardless of order.
+func CosineTFP(a, b *Profile) float64 {
+	if len(a.Tokens) == 0 || len(b.Tokens) == 0 {
+		if len(a.Tokens) == 0 && len(b.Tokens) == 0 {
+			return 1
+		}
+		return 0
+	}
+	var dot, na, nb float64
+	ia, ib := 0, 0
+	for ia < len(a.SortedIDs) && ib < len(b.SortedIDs) {
+		switch {
+		case a.SortedIDs[ia] < b.SortedIDs[ib]:
+			na += a.TF[ia] * a.TF[ia]
+			ia++
+		case a.SortedIDs[ia] > b.SortedIDs[ib]:
+			nb += b.TF[ib] * b.TF[ib]
+			ib++
+		default:
+			dot += a.TF[ia] * b.TF[ib]
+			na += a.TF[ia] * a.TF[ia]
+			nb += b.TF[ib] * b.TF[ib]
+			ia++
+			ib++
+		}
+	}
+	for ; ia < len(a.SortedIDs); ia++ {
+		na += a.TF[ia] * a.TF[ia]
+	}
+	for ; ib < len(b.SortedIDs); ib++ {
+		nb += b.TF[ib] * b.TF[ib]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// MongeElkanP is the profile form of MongeElkan: the mean, over tokens of
+// a, of the best Jaro-Winkler match in b. The inner loop short-circuits
+// on exact token equality and skips candidates whose length-ratio upper
+// bound cannot beat the current best — both exits provably preserve the
+// exact result.
+func MongeElkanP(a, b *Profile) float64 {
+	return MongeElkanTokens(a.Tokens, b.Tokens)
+}
+
+// MongeElkanTokens is MongeElkan over already-tokenized input; callers
+// with cached token slices (e.g. the encoder's first-N-token feature) skip
+// the join/re-tokenize round trip entirely.
+func MongeElkanTokens(ta, tb []string) float64 {
+	if len(ta) == 0 {
+		if len(tb) == 0 {
+			return 1
+		}
+		return 0
+	}
+	if len(tb) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range ta {
+		best := 0.0
+		for _, y := range tb {
+			if x == y {
+				best = 1
+				break
+			}
+			// Upper bound: with m matched runes, Jaro ≤ (2 + min/max)/3 and
+			// Jaro-Winkler ≤ 0.6·Jaro + 0.4. A candidate that cannot beat
+			// the current best even at its bound is skipped; the margin
+			// absorbs float rounding so no improving candidate is ever
+			// skipped.
+			if jwUpperBound(x, y) < best-1e-9 {
+				continue
+			}
+			if s := JaroWinkler(x, y); s > best {
+				best = s
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(ta))
+}
+
+// MongeElkanSymP is the profile form of MongeElkanSym.
+func MongeElkanSymP(a, b *Profile) float64 {
+	return (MongeElkanP(a, b) + MongeElkanP(b, a)) / 2
+}
+
+// MongeElkanSymTokens is MongeElkanSym over already-tokenized input.
+func MongeElkanSymTokens(ta, tb []string) float64 {
+	return (MongeElkanTokens(ta, tb) + MongeElkanTokens(tb, ta)) / 2
+}
+
+// NumericSimP is the profile form of NumericSim, using the parsed numeric
+// value precomputed in the profile.
+func NumericSimP(a, b *Profile) float64 {
+	if !a.IsNum || !b.IsNum {
+		return Levenshtein(a.Raw, b.Raw)
+	}
+	x, y := a.Num, b.Num
+	if x == y {
+		return 1
+	}
+	ax, ay := math.Abs(x), math.Abs(y)
+	den := ax
+	if ay > den {
+		den = ay
+	}
+	if den == 0 {
+		return 1
+	}
+	return math.Max(0, 1-math.Abs(x-y)/den)
+}

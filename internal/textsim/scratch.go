@@ -1,0 +1,470 @@
+package textsim
+
+import (
+	"sync"
+	"unicode/utf8"
+)
+
+// This file holds the pooled-scratch implementations of the edit-distance
+// kernels (Levenshtein, Ratcliff/Obershelp, Jaro). Each public function
+// is algorithmically identical to the original map/slice implementation —
+// the results are bit-for-bit equal — but the two DP rows, the match-flag
+// arrays and the rune buffers come from a sync.Pool, and pure-ASCII
+// inputs (the overwhelmingly common case) run directly over the string
+// bytes instead of a freshly allocated []rune.
+
+// seqScratch bundles the reusable buffers of one kernel invocation.
+type seqScratch struct {
+	rowA, rowB     []int
+	boolA, boolB   []bool
+	runesA, runesB []rune
+}
+
+var seqPool = sync.Pool{New: func() any { return new(seqScratch) }}
+
+// rows returns the two DP rows with at least n entries each, zeroed.
+func (s *seqScratch) rows(n int) ([]int, []int) {
+	if cap(s.rowA) < n {
+		s.rowA = make([]int, n)
+		s.rowB = make([]int, n)
+	}
+	a, b := s.rowA[:n], s.rowB[:n]
+	for i := range a {
+		a[i] = 0
+		b[i] = 0
+	}
+	return a, b
+}
+
+// bools returns two match-flag arrays of the given lengths, zeroed.
+func (s *seqScratch) bools(na, nb int) ([]bool, []bool) {
+	if cap(s.boolA) < na {
+		s.boolA = make([]bool, na)
+	}
+	if cap(s.boolB) < nb {
+		s.boolB = make([]bool, nb)
+	}
+	a, b := s.boolA[:na], s.boolB[:nb]
+	for i := range a {
+		a[i] = false
+	}
+	for i := range b {
+		b[i] = false
+	}
+	return a, b
+}
+
+// runes decodes a and b into the pooled rune buffers.
+func (s *seqScratch) runes(a, b string) ([]rune, []rune) {
+	s.runesA = appendRunes(s.runesA[:0], a)
+	s.runesB = appendRunes(s.runesB[:0], b)
+	return s.runesA, s.runesB
+}
+
+func appendRunes(buf []rune, s string) []rune {
+	for _, r := range s {
+		buf = append(buf, r)
+	}
+	return buf
+}
+
+// isASCII reports whether s contains only single-byte runes.
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return false
+		}
+	}
+	return true
+}
+
+// RatcliffObershelp computes the similarity ratio of Python's
+// difflib.SequenceMatcher: 2*M / (len(a)+len(b)) where M is the total size
+// of matched blocks found by recursively locating the longest matching
+// substring. This is the exact algorithm behind the StringSim baseline in
+// the paper (a match is predicted when the ratio exceeds 0.5).
+func RatcliffObershelp(a, b string) float64 {
+	if a == "" && b == "" {
+		return 1
+	}
+	if a == "" || b == "" {
+		return 0
+	}
+	if a == b {
+		return 1
+	}
+	sc := seqPool.Get().(*seqScratch)
+	var ratio float64
+	if isASCII(a) && isASCII(b) {
+		m := matchedBytes(a, b, sc)
+		ratio = 2 * float64(m) / float64(len(a)+len(b))
+	} else {
+		ra, rb := sc.runes(a, b)
+		m := matchedRunes(ra, rb, sc)
+		ratio = 2 * float64(m) / float64(len(ra)+len(rb))
+	}
+	seqPool.Put(sc)
+	return ratio
+}
+
+// matchedBytes returns the total length of matching blocks between a and b
+// following the Ratcliff/Obershelp recursion, over raw bytes (exact for
+// ASCII input).
+func matchedBytes(a, b string, sc *seqScratch) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	ai, bi, size := lcsBytes(a, b, sc)
+	if size == 0 {
+		return 0
+	}
+	return size +
+		matchedBytes(a[:ai], b[:bi], sc) +
+		matchedBytes(a[ai+size:], b[bi+size:], sc)
+}
+
+// matchedRunes is the rune-sequence form of matchedBytes.
+func matchedRunes(a, b []rune, sc *seqScratch) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	ai, bi, size := lcsRunes(a, b, sc)
+	if size == 0 {
+		return 0
+	}
+	return size +
+		matchedRunes(a[:ai], b[:bi], sc) +
+		matchedRunes(a[ai+size:], b[bi+size:], sc)
+}
+
+// lcsBytes finds the longest common contiguous run between a and b,
+// returning its start in a, start in b, and length. Ties resolve to the
+// earliest occurrence in a then b, matching difflib's find_longest_match
+// (without the junk heuristic, which the study's short strings never
+// trigger). Dynamic programming over match run lengths; O(len(a)*len(b))
+// time, O(len(b)) space from the pooled rows.
+func lcsBytes(a, b string, sc *seqScratch) (ai, bi, size int) {
+	prev, cur := sc.rows(len(b) + 1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > size {
+					size = cur[j]
+					ai = i - size
+					bi = j - size
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return ai, bi, size
+}
+
+// lcsRunes is the rune-sequence form of lcsBytes.
+func lcsRunes(a, b []rune, sc *seqScratch) (ai, bi, size int) {
+	prev, cur := sc.rows(len(b) + 1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > size {
+					size = cur[j]
+					ai = i - size
+					bi = j - size
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return ai, bi, size
+}
+
+// Levenshtein returns a normalised edit-distance similarity:
+// 1 - dist/max(len(a), len(b)).
+func Levenshtein(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	if a == "" || b == "" {
+		return 0
+	}
+	sc := seqPool.Get().(*seqScratch)
+	var d, maxLen int
+	if isASCII(a) && isASCII(b) {
+		d = levDistBytes(a, b, sc)
+		maxLen = len(a)
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+	} else {
+		ra, rb := sc.runes(a, b)
+		d = levDistRunes(ra, rb, sc)
+		maxLen = len(ra)
+		if len(rb) > maxLen {
+			maxLen = len(rb)
+		}
+	}
+	seqPool.Put(sc)
+	return 1 - float64(d)/float64(maxLen)
+}
+
+func levDistBytes(a, b string, sc *seqScratch) int {
+	prev, cur := sc.rows(len(b) + 1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost // substitution
+			if v := prev[j] + 1; v < m {
+				m = v // deletion
+			}
+			if v := cur[j-1] + 1; v < m {
+				m = v // insertion
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func levDistRunes(a, b []rune, sc *seqScratch) int {
+	prev, cur := sc.rows(len(b) + 1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if v := prev[j] + 1; v < m {
+				m = v
+			}
+			if v := cur[j-1] + 1; v < m {
+				m = v
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// Jaro returns the Jaro similarity between a and b.
+func Jaro(a, b string) float64 {
+	if isASCII(a) && isASCII(b) {
+		sc := seqPool.Get().(*seqScratch)
+		s := jaroBytes(a, b, sc)
+		seqPool.Put(sc)
+		return s
+	}
+	sc := seqPool.Get().(*seqScratch)
+	ra, rb := sc.runes(a, b)
+	s := jaroRunes(ra, rb, sc)
+	seqPool.Put(sc)
+	return s
+}
+
+func jaroBytes(a, b string, sc *seqScratch) float64 {
+	la, lb := len(a), len(b)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA, matchB := sc.bools(la, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if !matchB[j] && a[i] == b[j] {
+				matchA[i] = true
+				matchB[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+func jaroRunes(a, b []rune, sc *seqScratch) float64 {
+	la, lb := len(a), len(b)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA, matchB := sc.bools(la, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if !matchB[j] && a[i] == b[j] {
+				matchA[i] = true
+				matchB[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity with the standard prefix
+// scale of 0.1 and a maximum prefix length of 4.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	rest := b
+	for _, r := range a {
+		if prefix >= 4 || len(rest) == 0 {
+			break
+		}
+		r2, sz := utf8.DecodeRuneInString(rest)
+		if r != r2 {
+			break
+		}
+		prefix++
+		rest = rest[sz:]
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// RatcliffUpperBound returns an upper bound on RatcliffObershelp(a, b)
+// from the two lengths alone: matched blocks total at most min(|a|, |b|)
+// runes. The bound is exact in float64 (integer numerators over a shared
+// denominator, and division is monotone), so bound ≤ t implies
+// RatcliffObershelp(a, b) ≤ t — threshold matchers can skip the O(n·m)
+// dynamic program whenever the bound cannot clear the threshold.
+func RatcliffUpperBound(a, b string) float64 {
+	la, lb := len(a), len(b)
+	if !isASCII(a) {
+		la = utf8.RuneCountInString(a)
+	}
+	if !isASCII(b) {
+		lb = utf8.RuneCountInString(b)
+	}
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	minL := la
+	if lb < minL {
+		minL = lb
+	}
+	return 2 * float64(minL) / float64(la+lb)
+}
+
+// jwUpperBound returns an upper bound on JaroWinkler(x, y) from the two
+// token lengths alone: with m matched runes, m ≤ min(|x|, |y|), so
+// Jaro ≤ (2 + min/max)/3, and the Winkler prefix bonus maps j to at most
+// 0.6·j + 0.4.
+func jwUpperBound(x, y string) float64 {
+	lx, ly := len(x), len(y)
+	if !isASCII(x) {
+		lx = utf8.RuneCountInString(x)
+	}
+	if !isASCII(y) {
+		ly = utf8.RuneCountInString(y)
+	}
+	if lx == 0 || ly == 0 {
+		if lx == 0 && ly == 0 {
+			return 1
+		}
+		return 0
+	}
+	minL, maxL := lx, ly
+	if minL > maxL {
+		minL, maxL = maxL, minL
+	}
+	jaroUB := (2 + float64(minL)/float64(maxL)) / 3
+	return 0.6*jaroUB + 0.4
+}

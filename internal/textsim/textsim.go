@@ -5,6 +5,14 @@
 // TF-IDF, Monge-Elkan, and a relative numeric similarity.
 //
 // Every function returns a similarity in [0, 1] where 1 means identical.
+//
+// The string-based set and token kernels are thin wrappers over the
+// profile kernels (see Profile): each argument is resolved through the
+// process-wide ProfileCache, so the lowercasing, tokenization and set
+// construction happen once per distinct string and the per-pair cost is a
+// merge join over precomputed sorted slices. The edit-distance kernels
+// (Levenshtein, RatcliffObershelp, Jaro) live in scratch.go and reuse
+// pooled DP rows instead.
 package textsim
 
 import (
@@ -12,189 +20,69 @@ import (
 	"strconv"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
-// RatcliffObershelp computes the similarity ratio of Python's
-// difflib.SequenceMatcher: 2*M / (len(a)+len(b)) where M is the total size
-// of matched blocks found by recursively locating the longest matching
-// substring. This is the exact algorithm behind the StringSim baseline in
-// the paper (a match is predicted when the ratio exceeds 0.5).
-func RatcliffObershelp(a, b string) float64 {
-	if a == "" && b == "" {
-		return 1
-	}
-	if a == "" || b == "" {
-		return 0
-	}
-	ra, rb := []rune(a), []rune(b)
-	m := matchedRunes(ra, rb)
-	return 2 * float64(m) / float64(len(ra)+len(rb))
-}
-
-// matchedRunes returns the total length of matching blocks between a and b
-// following the Ratcliff/Obershelp recursion.
-func matchedRunes(a, b []rune) int {
-	if len(a) == 0 || len(b) == 0 {
-		return 0
-	}
-	ai, bi, size := longestCommonSubstring(a, b)
-	if size == 0 {
-		return 0
-	}
-	return size +
-		matchedRunes(a[:ai], b[:bi]) +
-		matchedRunes(a[ai+size:], b[bi+size:])
-}
-
-// longestCommonSubstring finds the longest common contiguous run between a
-// and b, returning its start in a, start in b, and length. Ties resolve to
-// the earliest occurrence in a then b, matching difflib's find_longest_match
-// (without the junk heuristic, which the study's short strings never
-// trigger).
-func longestCommonSubstring(a, b []rune) (ai, bi, size int) {
-	// Dynamic programming over match run lengths; O(len(a)*len(b)) time,
-	// O(len(b)) space.
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
-	for i := 1; i <= len(a); i++ {
-		for j := 1; j <= len(b); j++ {
-			if a[i-1] == b[j-1] {
-				cur[j] = prev[j-1] + 1
-				if cur[j] > size {
-					size = cur[j]
-					ai = i - size
-					bi = j - size
-				}
-			} else {
-				cur[j] = 0
-			}
-		}
-		prev, cur = cur, prev
-	}
-	return ai, bi, size
-}
-
-// Levenshtein returns a normalised edit-distance similarity:
-// 1 - dist/max(len(a), len(b)).
-func Levenshtein(a, b string) float64 {
-	if a == b {
-		return 1
-	}
-	ra, rb := []rune(a), []rune(b)
-	if len(ra) == 0 || len(rb) == 0 {
-		return 0
-	}
-	d := levenshteinDistance(ra, rb)
-	maxLen := len(ra)
-	if len(rb) > maxLen {
-		maxLen = len(rb)
-	}
-	return 1 - float64(d)/float64(maxLen)
-}
-
-func levenshteinDistance(a, b []rune) int {
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(a); i++ {
-		cur[0] = i
-		for j := 1; j <= len(b); j++ {
-			cost := 1
-			if a[i-1] == b[j-1] {
-				cost = 0
-			}
-			m := prev[j-1] + cost // substitution
-			if v := prev[j] + 1; v < m {
-				m = v // deletion
-			}
-			if v := cur[j-1] + 1; v < m {
-				m = v // insertion
-			}
-			cur[j] = m
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(b)]
-}
-
-// Jaro returns the Jaro similarity between a and b.
-func Jaro(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	la, lb := len(ra), len(rb)
-	if la == 0 && lb == 0 {
-		return 1
-	}
-	if la == 0 || lb == 0 {
-		return 0
-	}
-	window := la
-	if lb > window {
-		window = lb
-	}
-	window = window/2 - 1
-	if window < 0 {
-		window = 0
-	}
-	matchA := make([]bool, la)
-	matchB := make([]bool, lb)
-	matches := 0
-	for i := 0; i < la; i++ {
-		lo := i - window
-		if lo < 0 {
-			lo = 0
-		}
-		hi := i + window + 1
-		if hi > lb {
-			hi = lb
-		}
-		for j := lo; j < hi; j++ {
-			if !matchB[j] && ra[i] == rb[j] {
-				matchA[i] = true
-				matchB[j] = true
-				matches++
-				break
-			}
-		}
-	}
-	if matches == 0 {
-		return 0
-	}
-	// Count transpositions among matched characters.
-	transpositions := 0
-	j := 0
-	for i := 0; i < la; i++ {
-		if !matchA[i] {
-			continue
-		}
-		for !matchB[j] {
-			j++
-		}
-		if ra[i] != rb[j] {
-			transpositions++
-		}
-		j++
-	}
-	m := float64(matches)
-	t := float64(transpositions) / 2
-	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
-}
-
-// JaroWinkler returns the Jaro-Winkler similarity with the standard prefix
-// scale of 0.1 and a maximum prefix length of 4.
-func JaroWinkler(a, b string) float64 {
-	j := Jaro(a, b)
-	prefix := 0
-	ra, rb := []rune(a), []rune(b)
-	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
-		prefix++
-	}
-	return j + float64(prefix)*0.1*(1-j)
-}
-
 // Tokens lower-cases s and splits it into alphanumeric word tokens.
+// Pure-ASCII input runs byte-at-a-time, skips the lowercase copy when s is
+// already lowercase, and returns substrings of a single backing string
+// sized by an exact counting pass.
 func Tokens(s string) []string {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return tokensUnicode(s)
+		}
+	}
+	lower := s
+	for i := 0; i < len(s); i++ {
+		if 'A' <= s[i] && s[i] <= 'Z' {
+			lower = strings.ToLower(s)
+			break
+		}
+	}
+	n := 0
+	inTok := false
+	for i := 0; i < len(lower); i++ {
+		if isASCIIAlnum(lower[i]) {
+			if !inTok {
+				n++
+				inTok = true
+			}
+		} else {
+			inTok = false
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	toks := make([]string, 0, n)
+	start := -1
+	for i := 0; i < len(lower); i++ {
+		if isASCIIAlnum(lower[i]) {
+			if start < 0 {
+				start = i
+			}
+		} else if start >= 0 {
+			toks = append(toks, lower[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		toks = append(toks, lower[start:])
+	}
+	return toks
+}
+
+// isASCIIAlnum reports whether c is a lowercase ASCII letter or digit —
+// exactly the runes unicode.IsLetter/IsDigit accept in the ASCII range
+// after lowercasing.
+func isASCIIAlnum(c byte) bool {
+	return ('a' <= c && c <= 'z') || ('0' <= c && c <= '9')
+}
+
+// tokensUnicode is the general tokenizer for input containing multi-byte
+// runes; it matches the ASCII fast path rune-for-rune.
+func tokensUnicode(s string) []string {
 	var toks []string
 	var cur strings.Builder
 	for _, r := range strings.ToLower(s) {
@@ -211,38 +99,16 @@ func Tokens(s string) []string {
 	return toks
 }
 
-// tokenSet builds a set from a token slice.
-func tokenSet(toks []string) map[string]struct{} {
-	set := make(map[string]struct{}, len(toks))
-	for _, t := range toks {
-		set[t] = struct{}{}
-	}
-	return set
-}
-
 // TokenJaccard returns the Jaccard similarity between the word-token sets
 // of a and b.
 func TokenJaccard(a, b string) float64 {
-	sa, sb := tokenSet(Tokens(a)), tokenSet(Tokens(b))
-	return setJaccard(sa, sb)
+	return TokenJaccardP(sharedProfiles.Get(a), sharedProfiles.Get(b))
 }
 
 // TokenOverlap returns the overlap coefficient |A∩B| / min(|A|, |B|)
 // between the word-token sets of a and b.
 func TokenOverlap(a, b string) float64 {
-	sa, sb := tokenSet(Tokens(a)), tokenSet(Tokens(b))
-	if len(sa) == 0 && len(sb) == 0 {
-		return 1
-	}
-	if len(sa) == 0 || len(sb) == 0 {
-		return 0
-	}
-	inter := intersectionSize(sa, sb)
-	minLen := len(sa)
-	if len(sb) < minLen {
-		minLen = len(sb)
-	}
-	return float64(inter) / float64(minLen)
+	return TokenOverlapP(sharedProfiles.Get(a), sharedProfiles.Get(b))
 }
 
 // QGrams returns the multiset-deduplicated set of q-grams of s (padded
@@ -263,56 +129,14 @@ func QGrams(s string, q int) map[string]struct{} {
 // QGramJaccard returns the Jaccard similarity between the q-gram sets of a
 // and b (q = 3, the usual choice for entity matching).
 func QGramJaccard(a, b string) float64 {
-	return setJaccard(QGrams(a, 3), QGrams(b, 3))
-}
-
-func setJaccard(sa, sb map[string]struct{}) float64 {
-	if len(sa) == 0 && len(sb) == 0 {
-		return 1
-	}
-	if len(sa) == 0 || len(sb) == 0 {
-		return 0
-	}
-	inter := intersectionSize(sa, sb)
-	union := len(sa) + len(sb) - inter
-	return float64(inter) / float64(union)
-}
-
-func intersectionSize(sa, sb map[string]struct{}) int {
-	if len(sb) < len(sa) {
-		sa, sb = sb, sa
-	}
-	n := 0
-	for k := range sa {
-		if _, ok := sb[k]; ok {
-			n++
-		}
-	}
-	return n
+	return QGramJaccardP(sharedProfiles.Get(a), sharedProfiles.Get(b))
 }
 
 // CosineTF returns the cosine similarity between term-frequency vectors of
 // the word tokens of a and b. (IDF weighting requires corpus statistics;
 // see the Weighter type for the corpus-aware variant.)
 func CosineTF(a, b string) float64 {
-	ta, tb := Tokens(a), Tokens(b)
-	if len(ta) == 0 || len(tb) == 0 {
-		if len(ta) == 0 && len(tb) == 0 {
-			return 1
-		}
-		return 0
-	}
-	fa := termFreq(ta)
-	fb := termFreq(tb)
-	return cosine(fa, fb)
-}
-
-func termFreq(toks []string) map[string]float64 {
-	f := make(map[string]float64, len(toks))
-	for _, t := range toks {
-		f[t]++
-	}
-	return f
+	return CosineTFP(sharedProfiles.Get(a), sharedProfiles.Get(b))
 }
 
 func cosine(fa, fb map[string]float64) float64 {
@@ -336,32 +160,12 @@ func cosine(fa, fb map[string]float64) float64 {
 // over tokens of a, of the best Jaro-Winkler match in b. It is asymmetric;
 // use MongeElkanSym for the symmetric mean.
 func MongeElkan(a, b string) float64 {
-	ta, tb := Tokens(a), Tokens(b)
-	if len(ta) == 0 {
-		if len(tb) == 0 {
-			return 1
-		}
-		return 0
-	}
-	if len(tb) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, x := range ta {
-		best := 0.0
-		for _, y := range tb {
-			if s := JaroWinkler(x, y); s > best {
-				best = s
-			}
-		}
-		sum += best
-	}
-	return sum / float64(len(ta))
+	return MongeElkanP(sharedProfiles.Get(a), sharedProfiles.Get(b))
 }
 
 // MongeElkanSym returns the symmetric Monge-Elkan similarity.
 func MongeElkanSym(a, b string) float64 {
-	return (MongeElkan(a, b) + MongeElkan(b, a)) / 2
+	return MongeElkanSymP(sharedProfiles.Get(a), sharedProfiles.Get(b))
 }
 
 // NumericSim parses a and b as numbers and returns a relative-difference
@@ -370,23 +174,7 @@ func MongeElkanSym(a, b string) float64 {
 // which is what a type-blind matcher has to do under cross-dataset
 // restriction 2.
 func NumericSim(a, b string) float64 {
-	x, errA := parseNumber(a)
-	y, errB := parseNumber(b)
-	if errA != nil || errB != nil {
-		return Levenshtein(a, b)
-	}
-	if x == y {
-		return 1
-	}
-	ax, ay := math.Abs(x), math.Abs(y)
-	den := ax
-	if ay > den {
-		den = ay
-	}
-	if den == 0 {
-		return 1
-	}
-	return math.Max(0, 1-math.Abs(x-y)/den)
+	return NumericSimP(sharedProfiles.Get(a), sharedProfiles.Get(b))
 }
 
 // parseNumber parses a numeric string, tolerating leading currency symbols

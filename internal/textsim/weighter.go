@@ -9,6 +9,10 @@ import "math"
 type Weighter struct {
 	docCount int
 	docFreq  map[string]int
+	// shared marks docFreq as aliasing a frozen snapshot's map; the first
+	// Observe copies it (copy-on-observe), so cheap snapshots of a large
+	// pretrained table can be handed to every encoder without rebuilding.
+	shared bool
 }
 
 // NewWeighter returns an empty Weighter.
@@ -16,15 +20,45 @@ func NewWeighter() *Weighter {
 	return &Weighter{docFreq: make(map[string]int)}
 }
 
+// Snapshot returns a Weighter with the same statistics that shares this
+// Weighter's document-frequency table until either side next observes a
+// document. Concurrent snapshots of the same receiver are safe only once
+// the receiver is already marked shared (take one snapshot, or observe
+// nothing, before publishing it to multiple goroutines); the conditional
+// below then never writes.
+func (w *Weighter) Snapshot() *Weighter {
+	if !w.shared {
+		w.shared = true
+	}
+	return &Weighter{docCount: w.docCount, docFreq: w.docFreq, shared: true}
+}
+
+// ensureOwned copies the document-frequency table if it is still shared
+// with a snapshot.
+func (w *Weighter) ensureOwned() {
+	if !w.shared {
+		return
+	}
+	m := make(map[string]int, len(w.docFreq))
+	for k, v := range w.docFreq {
+		m[k] = v
+	}
+	w.docFreq = m
+	w.shared = false
+}
+
 // Observe adds one document's tokens to the corpus statistics.
 func (w *Weighter) Observe(text string) {
+	w.ObserveProfile(sharedProfiles.Get(text))
+}
+
+// ObserveProfile adds one document's tokens to the corpus statistics from
+// its precomputed profile; each distinct token counts once per document,
+// exactly as Observe deduplicates.
+func (w *Weighter) ObserveProfile(p *Profile) {
+	w.ensureOwned()
 	w.docCount++
-	seen := make(map[string]struct{})
-	for _, t := range Tokens(text) {
-		if _, ok := seen[t]; ok {
-			continue
-		}
-		seen[t] = struct{}{}
+	for _, t := range p.Uniq {
 		w.docFreq[t]++
 	}
 }
