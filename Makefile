@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json verify-parallel vet
+.PHONY: build test bench bench-json bench-json-serve verify-parallel vet serve-smoke loadgen-report
 
 build:
 	$(GO) build ./...
@@ -21,15 +21,36 @@ bench-json:
 		-benchtime=1s -benchmem . | $(GO) run ./cmd/benchjson > BENCH_pr2.json
 	@cat BENCH_pr2.json
 
+# Serving benchmarks of the online matching pipeline (single-pair latency,
+# batched throughput, cache-hit fast path), recorded as JSON for
+# regression tracking (see EXPERIMENTS.md "Online serving").
+bench-json-serve:
+	$(GO) test -run '^$$' -bench 'ServeSingle|ServeBatched|ServeCacheHit' \
+		-benchtime=1s -benchmem ./internal/serve | $(GO) run ./cmd/benchjson > BENCH_pr3.json
+	@cat BENCH_pr3.json
+
 # Determinism/concurrency gate for the parallel evaluation engine and the
 # shared caches under it: vet the whole module, then race-test the engine
 # (internal/eval), its scheduling substrate (internal/par), the shared
 # serialization cache (internal/record), the text-profile cache and
 # similarity kernels (internal/textsim), the language-model simulation's
-# value/normalization caches (internal/lm), and the study runner that
-# dispatches on all of it (internal/core).
+# value/normalization caches (internal/lm), the study runner that
+# dispatches on all of it (internal/core), and the online serving pipeline
+# (internal/serve: micro-batching dispatcher, sharded LRU prediction
+# cache, admission control).
 verify-parallel: vet
-	$(GO) test -race ./internal/par/... ./internal/record/... ./internal/textsim/... ./internal/lm/... ./internal/eval/... ./internal/core/...
+	$(GO) test -race ./internal/par/... ./internal/record/... ./internal/textsim/... ./internal/lm/... ./internal/eval/... ./internal/core/... ./internal/serve/...
+
+# Smoke-test the serving binary: start emserve, hit /healthz and /match,
+# assert a 200 on both (emserve -smoke exits non-zero otherwise).
+serve-smoke:
+	$(GO) run ./cmd/emserve -matcher stringsim -smoke
+
+# Baseline-versus-served throughput/latency comparison behind the
+# EXPERIMENTS.md serving table.
+loadgen-report:
+	$(GO) run ./cmd/emserve -matcher stringsim -loadgen -duration 5s
+	$(GO) run ./cmd/emserve -matcher gpt-4 -loadgen -duration 5s
 
 vet:
 	$(GO) vet ./...

@@ -19,17 +19,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"repro/internal/blocking"
 	"repro/internal/csvio"
 	"repro/internal/datasets"
 	"repro/internal/eval"
-	"repro/internal/lm"
 	"repro/internal/matchers"
 	"repro/internal/record"
 	"repro/internal/stats"
@@ -45,17 +44,18 @@ func main() {
 		maxCands    = flag.Int("candidates", 10, "blocking: max candidates per left record")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		parallel    = flag.Int("parallel", 0, "workers for transfer-library generation: 0 = one per CPU, 1 = sequential")
+		timeout     = flag.Duration("timeout", 0, "abort matching after this long (0 = no limit)")
 	)
 	flag.Parse()
 
-	if err := run(*leftPath, *rightPath, *pairsPath, *outPath, *matcherName, *maxCands, *seed, *parallel); err != nil {
+	if err := run(*leftPath, *rightPath, *pairsPath, *outPath, *matcherName, *maxCands, *seed, *parallel, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "emmatch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(leftPath, rightPath, pairsPath, outPath, matcherName string, maxCands int, seed uint64, parallel int) error {
-	m, needsTraining, err := buildMatcher(matcherName)
+func run(leftPath, rightPath, pairsPath, outPath, matcherName string, maxCands int, seed uint64, parallel int, timeout time.Duration) error {
+	m, needsTraining, err := matchers.ByName(matcherName)
 	if err != nil {
 		return err
 	}
@@ -110,13 +110,23 @@ func run(leftPath, rightPath, pairsPath, outPath, matcherName string, maxCands i
 		m.Train(nil, rng.Split("train"))
 	}
 
-	// Match.
+	// Match. The context path is shared with cmd/emserve: with no -timeout
+	// the batch call runs inline, bit-identical to the plain Predict.
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	task := matchers.Task{Pairs: make([]record.Pair, len(pairs)), Schema: schema}
 	for i, p := range pairs {
 		task.Pairs[i] = p.Pair
 	}
 	start := time.Now()
-	preds := m.Predict(task)
+	preds, err := matchers.PredictCtx(ctx, m, task)
+	if err != nil {
+		return fmt.Errorf("matching aborted after %s: %w", time.Since(start).Round(time.Millisecond), err)
+	}
 	elapsed := time.Since(start)
 
 	// Report.
@@ -161,41 +171,4 @@ func readRelationFile(path string) ([]record.Record, record.Schema, error) {
 	}
 	defer f.Close()
 	return csvio.ReadRelation(f)
-}
-
-// buildMatcher resolves a matcher name; needsTraining reports whether it
-// must be fine-tuned on transfer data first.
-func buildMatcher(name string) (matchers.Matcher, bool, error) {
-	switch strings.ToLower(name) {
-	case "stringsim":
-		return matchers.NewStringSim(), false, nil
-	case "zeroer":
-		return matchers.NewZeroER(), false, nil
-	case "ditto":
-		return matchers.NewDitto(), true, nil
-	case "unicorn":
-		return matchers.NewUnicorn(), true, nil
-	case "anymatch-gpt2":
-		return matchers.NewAnyMatchGPT2(), true, nil
-	case "anymatch-t5":
-		return matchers.NewAnyMatchT5(), true, nil
-	case "anymatch-llama":
-		return matchers.NewAnyMatchLLaMA(), true, nil
-	case "jellyfish":
-		return matchers.NewJellyfish(), false, nil
-	case "mixtral":
-		return matchers.NewMatchGPT(lm.Mixtral8x7B), false, nil
-	case "solar":
-		return matchers.NewMatchGPT(lm.SOLAR), false, nil
-	case "beluga2":
-		return matchers.NewMatchGPT(lm.Beluga2), false, nil
-	case "gpt-3.5-turbo":
-		return matchers.NewMatchGPT(lm.GPT35Turbo), false, nil
-	case "gpt-4o-mini":
-		return matchers.NewMatchGPT(lm.GPT4oMini), false, nil
-	case "gpt-4":
-		return matchers.NewMatchGPT(lm.GPT4), false, nil
-	default:
-		return nil, false, fmt.Errorf("unknown matcher %q", name)
-	}
 }

@@ -5,9 +5,11 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/matchers"
 )
 
-func TestBuildMatcherKnownNames(t *testing.T) {
+func TestMatcherRegistryKnownNames(t *testing.T) {
 	cases := []struct {
 		name     string
 		training bool
@@ -28,7 +30,7 @@ func TestBuildMatcherKnownNames(t *testing.T) {
 		{"gpt-4", false},
 	}
 	for _, c := range cases {
-		m, needsTraining, err := buildMatcher(c.name)
+		m, needsTraining, err := matchers.ByName(c.name)
 		if err != nil {
 			t.Errorf("%s: %v", c.name, err)
 			continue
@@ -41,10 +43,10 @@ func TestBuildMatcherKnownNames(t *testing.T) {
 		}
 	}
 	// Case-insensitive resolution.
-	if _, _, err := buildMatcher("GPT-4"); err != nil {
+	if _, _, err := matchers.ByName("GPT-4"); err != nil {
 		t.Error("matcher names should be case-insensitive")
 	}
-	if _, _, err := buildMatcher("nope"); err == nil {
+	if _, _, err := matchers.ByName("nope"); err == nil {
 		t.Error("unknown matcher should error")
 	}
 }
@@ -62,7 +64,7 @@ func TestRunOnPairFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	outPath := filepath.Join(dir, "out.csv")
-	if err := run("", "", pairPath, outPath, "gpt-4", 5, 1, 1); err != nil {
+	if err := run("", "", pairPath, outPath, "gpt-4", 5, 1, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	out, err := os.ReadFile(outPath)
@@ -80,19 +82,19 @@ func TestRunOnRelations(t *testing.T) {
 	right := filepath.Join(dir, "right.csv")
 	os.WriteFile(left, []byte("id,name,city\na1,golden dragon palace,berlin\na2,iron horse tavern,paris\n"), 0o644)
 	os.WriteFile(right, []byte("id,name,city\nb1,GOLDEN dragon palace,berlin\nb2,blue bistro,rome\n"), 0o644)
-	if err := run(left, right, "", "", "stringsim", 5, 1, 1); err != nil {
+	if err := run(left, right, "", "", "stringsim", 5, 1, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRequiresInput(t *testing.T) {
-	if err := run("", "", "", "", "gpt-4", 5, 1, 1); err == nil {
+	if err := run("", "", "", "", "gpt-4", 5, 1, 1, 0); err == nil {
 		t.Fatal("missing inputs should error")
 	}
 }
 
 func TestRunUnknownMatcher(t *testing.T) {
-	if err := run("", "", "whatever.csv", "", "nope", 5, 1, 1); err == nil {
+	if err := run("", "", "whatever.csv", "", "nope", 5, 1, 1, 0); err == nil {
 		t.Fatal("unknown matcher should error before touching files")
 	}
 }

@@ -1,0 +1,243 @@
+// Command emserve runs the online entity-matching service: it loads any
+// matcher from the study (fine-tuned matchers train once at startup on the
+// built-in transfer library, exactly like emmatch) and answers /match
+// requests for single pairs and batches over HTTP JSON, with
+// micro-batching, a sharded LRU prediction cache and admission control
+// (see internal/serve).
+//
+// Usage:
+//
+//	emserve -matcher stringsim -addr :8080
+//	emserve -matcher gpt-4 -deadline 250ms -queue 2048
+//	emserve -matcher stringsim -loadgen -qps 0 -duration 5s
+//	emserve -matcher stringsim -smoke
+//
+// Endpoints:
+//
+//	POST /match    {"left": [...], "right": [...]} or {"pairs": [...]}
+//	GET  /healthz  liveness + loaded matcher
+//	GET  /stats    queue depth, batch histogram, cache hit rate,
+//	               latency quantiles, dollar cost
+//
+// -loadgen replays benchmark pairs against an in-process instance and
+// prints a baseline-versus-served throughput/latency report. -smoke starts
+// the service on an ephemeral port, checks /healthz and /match, and exits
+// non-zero on any failure (the make serve-smoke gate).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/eval"
+	"repro/internal/matchers"
+	"repro/internal/record"
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		matcherName = flag.String("matcher", "stringsim", "matcher to serve: "+strings.Join(matchers.Names(), ", "))
+		workers     = flag.Int("workers", 0, "scoring workers: 0 = one per CPU")
+		maxBatch    = flag.Int("batch", 64, "max pairs per coalesced micro-batch")
+		batchWait   = flag.Duration("batch-wait", 0, "how long a non-full batch waits for stragglers")
+		queueDepth  = flag.Int("queue", 1024, "admission queue depth (requests); full queue sheds with 429")
+		maxPairs    = flag.Int("max-pairs", 256, "max pairs per request (larger rejected with 413)")
+		deadline    = flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
+		cacheCap    = flag.Int("cache", 1<<16, "prediction cache capacity in entries (0 disables)")
+		seed        = flag.Uint64("seed", 1, "random seed for matcher training")
+		parallel    = flag.Int("parallel", 0, "workers for transfer-library generation: 0 = one per CPU")
+
+		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		qps      = flag.Float64("qps", 0, "loadgen target request rate (0 = closed-loop maximum)")
+		duration = flag.Duration("duration", 5*time.Second, "loadgen run duration per phase")
+		conc     = flag.Int("concurrency", 8, "loadgen client workers")
+		perReq   = flag.Int("pairs-per-request", 64, "loadgen pairs per request")
+		dataset  = flag.String("dataset", "ABT", "loadgen benchmark dataset to replay")
+		jsonOut  = flag.Bool("json", false, "loadgen: print the report as JSON")
+
+		smoke = flag.Bool("smoke", false, "start, self-check /healthz and /match, exit")
+	)
+	flag.Parse()
+
+	if err := run(runConfig{
+		addr: *addr, matcher: *matcherName, seed: *seed, parallel: *parallel,
+		loadgen: *loadgen, qps: *qps, duration: *duration, conc: *conc,
+		perReq: *perReq, dataset: *dataset, jsonOut: *jsonOut, smoke: *smoke,
+		serveCfg: serve.Config{
+			MatcherName:        *matcherName,
+			Workers:            *workers,
+			MaxBatch:           *maxBatch,
+			BatchWait:          *batchWait,
+			QueueDepth:         *queueDepth,
+			MaxPairsPerRequest: *maxPairs,
+			DefaultDeadline:    *deadline,
+			CacheCapacity:      *cacheCap,
+		},
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "emserve:", err)
+		os.Exit(1)
+	}
+}
+
+type runConfig struct {
+	addr     string
+	matcher  string
+	seed     uint64
+	parallel int
+	serveCfg serve.Config
+
+	loadgen  bool
+	qps      float64
+	duration time.Duration
+	conc     int
+	perReq   int
+	dataset  string
+	jsonOut  bool
+
+	smoke bool
+}
+
+func run(cfg runConfig) error {
+	m, err := loadMatcher(cfg.matcher, cfg.seed, cfg.parallel)
+	if err != nil {
+		return err
+	}
+
+	if cfg.loadgen {
+		return runLoadGen(m, cfg)
+	}
+
+	srv, err := serve.New(m, cfg.serveCfg)
+	if err != nil {
+		return err
+	}
+
+	if cfg.smoke {
+		return runSmoke(srv)
+	}
+
+	hs := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
+	// Graceful shutdown on SIGINT/SIGTERM: stop admitting, drain in-flight
+	// batches, then close the listener.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "emserve: draining...")
+		srv.Shutdown()
+		_ = hs.Close()
+	}()
+	fmt.Fprintf(os.Stderr, "emserve: serving %s (%s semantics) on %s\n",
+		m.Name(), srv.Semantics(), cfg.addr)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// loadMatcher builds and, when needed, trains the matcher — the same
+// startup path as cmd/emmatch.
+func loadMatcher(name string, seed uint64, parallel int) (matchers.Matcher, error) {
+	m, needsTraining, err := matchers.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(seed)
+	if needsTraining {
+		fmt.Fprintf(os.Stderr, "emserve: training %s on the built-in transfer library...\n", m.Name())
+		start := time.Now()
+		m.Train(datasets.GenerateAllParallel(eval.DatasetSeed, parallel), rng.Split("train"))
+		fmt.Fprintf(os.Stderr, "emserve: trained in %.1fs\n", time.Since(start).Seconds())
+	} else {
+		m.Train(nil, rng.Split("train"))
+	}
+	return m, nil
+}
+
+// runLoadGen replays one benchmark dataset's pairs through the serving
+// pipeline and prints the baseline-versus-served comparison.
+func runLoadGen(m matchers.Matcher, cfg runConfig) error {
+	d, err := datasets.Generate(cfg.dataset, eval.DatasetSeed)
+	if err != nil {
+		return fmt.Errorf("loadgen dataset: %w", err)
+	}
+	pairs := make([]record.Pair, len(d.Pairs))
+	for i, p := range d.Pairs {
+		pairs[i] = p.Pair
+	}
+	fmt.Fprintf(os.Stderr, "emserve: replaying %d pairs from %s against %s\n",
+		len(pairs), d.Name, m.Name())
+	cmp, err := serve.CompareServing(m, cfg.matcher, pairs, serve.LoadGenConfig{
+		QPS:             cfg.qps,
+		Duration:        cfg.duration,
+		Concurrency:     cfg.conc,
+		PairsPerRequest: cfg.perReq,
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(cmp)
+	}
+	fmt.Print(serve.RenderComparison(cmp))
+	return nil
+}
+
+// runSmoke exposes the service on an ephemeral loopback port, performs the
+// checks the serve-smoke Make target needs (healthz up, a /match round
+// trip answering 200 with one prediction), and shuts down.
+func runSmoke(srv *serve.Server) error {
+	hs := &http.Server{Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = hs.Serve(ln) }()
+	defer func() {
+		srv.Shutdown()
+		_ = hs.Close()
+	}()
+	base := "http://" + ln.Addr().String()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("smoke healthz: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("smoke healthz: got %d, want 200", resp.StatusCode)
+	}
+
+	body := strings.NewReader(`{"left": ["ipad 4th gen", "apple", "399"], "right": ["apple ipad 4", "apple", "399.00"]}`)
+	mresp, err := http.Post(base+"/match", "application/json", body)
+	if err != nil {
+		return fmt.Errorf("smoke match: %w", err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("smoke match: got %d, want 200", mresp.StatusCode)
+	}
+	var mr serve.MatchResponse
+	if err := json.NewDecoder(mresp.Body).Decode(&mr); err != nil {
+		return fmt.Errorf("smoke match: bad response: %w", err)
+	}
+	if len(mr.Predictions) != 1 {
+		return fmt.Errorf("smoke match: got %d predictions, want 1", len(mr.Predictions))
+	}
+	fmt.Printf("smoke ok: %s healthz 200, match 200 (prediction=%v)\n", mr.Matcher, mr.Predictions[0])
+	return nil
+}

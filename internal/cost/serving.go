@@ -1,0 +1,37 @@
+package cost
+
+import (
+	"repro/internal/record"
+	"repro/internal/tokenize"
+)
+
+// Serving-side pricing: the online matching service charges each scored
+// pair the model's cheapest per-1K-input-token rate from Table 6, using
+// the study's tokenizer over the actual serialized prompt — the same
+// estimator as EstimateBilling, reshaped for per-request accounting where
+// the token count is accumulated incrementally and priced at read time.
+
+// ServingRate returns the cheapest per-1K-input-token dollar rate for a
+// model under the paper's deployment scenarios (OpenAI batch API for
+// proprietary models, the cheaper of together.ai and self-hosting on the
+// 4×A100 testbed otherwise).
+func ServingRate(model string) (float64, error) {
+	c, err := CostFor(model, FourA100)
+	if err != nil {
+		return 0, err
+	}
+	return c.CostPer1K, nil
+}
+
+// PairTokens counts the input tokens one candidate pair contributes to a
+// prompt: both serialized records plus the fixed prompt framing.
+func PairTokens(p record.Pair, opts record.SerializeOptions) int {
+	return promptOverheadTokens +
+		tokenize.Count(record.SerializeRecord(p.Left, opts)) +
+		tokenize.Count(record.SerializeRecord(p.Right, opts))
+}
+
+// Dollars prices a cumulative token count at a per-1K rate.
+func Dollars(tokens int64, ratePer1K float64) float64 {
+	return float64(tokens) / 1000 * ratePer1K
+}

@@ -1,0 +1,46 @@
+package matchers
+
+import "context"
+
+// ContextMatcher is the optional context-aware extension of Matcher. A
+// matcher that can observe cancellation mid-batch (for example by checking
+// the context between pairs) implements PredictContext and gets fine-grained
+// cancellation; every other matcher is driven through PredictCtx, which
+// wraps the plain batch call.
+type ContextMatcher interface {
+	Matcher
+	// PredictContext classifies the task's pairs, returning early with the
+	// context's error if ctx is cancelled before the batch completes.
+	PredictContext(ctx context.Context, task Task) ([]bool, error)
+}
+
+// PredictCtx is the single cancellation path shared by the CLIs and the
+// serving subsystem: it runs m.Predict under the context's deadline.
+//
+// When the context can never be cancelled (context.Background, or no
+// -timeout flag set), the batch call runs inline — bit-identical behaviour
+// and zero overhead versus calling Predict directly. Otherwise the batch
+// runs in a goroutine and the call returns the context's error as soon as
+// the deadline expires or the caller cancels; an abandoned batch finishes
+// in the background and its result is discarded (matcher predictions are
+// pure CPU work with no external effects, so discarding is safe — callers
+// bound batch sizes to bound the wasted work).
+func PredictCtx(ctx context.Context, m Matcher, task Task) ([]bool, error) {
+	if cm, ok := m.(ContextMatcher); ok {
+		return cm.PredictContext(ctx, task)
+	}
+	if ctx == nil || ctx.Done() == nil {
+		return m.Predict(task), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ch := make(chan []bool, 1)
+	go func() { ch <- m.Predict(task) }()
+	select {
+	case out := <-ch:
+		return out, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

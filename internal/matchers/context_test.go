@@ -1,0 +1,100 @@
+package matchers
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/record"
+	"repro/internal/stats"
+)
+
+func ctxTestTask() Task {
+	return Task{Pairs: []record.Pair{
+		{Left: record.Record{Values: []string{"golden dragon"}}, Right: record.Record{Values: []string{"golden dragon"}}},
+		{Left: record.Record{Values: []string{"golden dragon"}}, Right: record.Record{Values: []string{"blue bistro"}}},
+	}}
+}
+
+// TestPredictCtxInlineEquality pins the no-behaviour-change guarantee:
+// with a background context the result is the plain Predict output.
+func TestPredictCtxInlineEquality(t *testing.T) {
+	m := NewStringSim()
+	m.Train(nil, stats.NewRNG(1).Split("train"))
+	task := ctxTestTask()
+	want := m.Predict(task)
+	got, err := PredictCtx(context.Background(), m, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: PredictCtx %v != Predict %v", i, got[i], want[i])
+		}
+	}
+	if got, err := PredictCtx(nil, m, task); err != nil || len(got) != len(want) {
+		t.Fatalf("nil context must behave like background: %v, %v", got, err)
+	}
+}
+
+// slowCtxMatcher blocks in Predict until its release channel closes.
+type slowCtxMatcher struct {
+	StringSim
+	release chan struct{}
+}
+
+func (m *slowCtxMatcher) Predict(task Task) []bool {
+	<-m.release
+	return m.StringSim.Predict(task)
+}
+
+// TestPredictCtxCancellation pins the shared CLI/server cancellation path:
+// an expired deadline surfaces as the context error without waiting for
+// the batch.
+func TestPredictCtxCancellation(t *testing.T) {
+	m := &slowCtxMatcher{release: make(chan struct{})}
+	defer close(m.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := PredictCtx(ctx, m, ctxTestTask())
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancellation should not wait for the batch")
+	}
+	// An already-expired context fails before any work starts.
+	expired, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := PredictCtx(expired, NewStringSim(), ctxTestTask()); err != context.Canceled {
+		t.Fatalf("pre-expired err = %v, want Canceled", err)
+	}
+}
+
+// TestRegistryPricingModels pins the matcher-to-Table-6 pricing map the
+// serving cost accounting depends on.
+func TestRegistryPricingModels(t *testing.T) {
+	priced := map[string]string{
+		"gpt-4":         "GPT-4",
+		"gpt-3.5-turbo": "GPT-3.5-Turbo",
+		"gpt-4o-mini":   "GPT-4o-Mini",
+		"mixtral":       "Mixtral-8x7B",
+		"solar":         "SOLAR",
+		"beluga2":       "Beluga2",
+		"jellyfish":     "LLaMA2-13B",
+	}
+	for name, model := range priced {
+		if got := PricingModel(name); got != model {
+			t.Errorf("PricingModel(%q) = %q, want %q", name, got, model)
+		}
+	}
+	for _, free := range []string{"stringsim", "zeroer", "ditto", "unicorn", "anymatch-t5"} {
+		if got := PricingModel(free); got != "" {
+			t.Errorf("PricingModel(%q) = %q, want unpriced", free, got)
+		}
+	}
+	if len(Names()) != 14 {
+		t.Errorf("registry has %d matchers, want the study's 14", len(Names()))
+	}
+}

@@ -1,0 +1,71 @@
+package matchers
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lm"
+)
+
+// registry maps the CLI matcher names shared by cmd/emmatch and
+// cmd/emserve to constructors. Fine-tuned matchers report NeedsTraining so
+// callers know to feed them the built-in transfer library before the first
+// Predict call; prompted and parameter-free matchers run immediately.
+type registryEntry struct {
+	// New constructs a fresh, untrained matcher.
+	New func() Matcher
+	// NeedsTraining reports whether the matcher must be fine-tuned on
+	// transfer data before predicting.
+	NeedsTraining bool
+	// PricingModel is the Table 6 model name used to price each served
+	// prediction, or "" for matchers with no per-call inference cost model
+	// (the parameter-free baselines and the fine-tuned SLMs, whose serving
+	// cost is dominated by fixed hosting rather than per-token fees).
+	PricingModel string
+}
+
+var registry = map[string]registryEntry{
+	"stringsim":      {New: func() Matcher { return NewStringSim() }},
+	"zeroer":         {New: func() Matcher { return NewZeroER() }},
+	"ditto":          {New: func() Matcher { return NewDitto() }, NeedsTraining: true},
+	"unicorn":        {New: func() Matcher { return NewUnicorn() }, NeedsTraining: true},
+	"anymatch-gpt2":  {New: func() Matcher { return NewAnyMatchGPT2() }, NeedsTraining: true},
+	"anymatch-t5":    {New: func() Matcher { return NewAnyMatchT5() }, NeedsTraining: true},
+	"anymatch-llama": {New: func() Matcher { return NewAnyMatchLLaMA() }, NeedsTraining: true},
+	"jellyfish":      {New: func() Matcher { return NewJellyfish() }, PricingModel: "LLaMA2-13B"},
+	"mixtral":        {New: func() Matcher { return NewMatchGPT(lm.Mixtral8x7B) }, PricingModel: "Mixtral-8x7B"},
+	"solar":          {New: func() Matcher { return NewMatchGPT(lm.SOLAR) }, PricingModel: "SOLAR"},
+	"beluga2":        {New: func() Matcher { return NewMatchGPT(lm.Beluga2) }, PricingModel: "Beluga2"},
+	"gpt-3.5-turbo":  {New: func() Matcher { return NewMatchGPT(lm.GPT35Turbo) }, PricingModel: "GPT-3.5-Turbo"},
+	"gpt-4o-mini":    {New: func() Matcher { return NewMatchGPT(lm.GPT4oMini) }, PricingModel: "GPT-4o-Mini"},
+	"gpt-4":          {New: func() Matcher { return NewMatchGPT(lm.GPT4) }, PricingModel: "GPT-4"},
+}
+
+// ByName resolves a matcher CLI name to a fresh matcher instance;
+// needsTraining reports whether it must be fine-tuned on transfer data
+// before predicting.
+func ByName(name string) (m Matcher, needsTraining bool, err error) {
+	e, ok := registry[strings.ToLower(name)]
+	if !ok {
+		return nil, false, fmt.Errorf("unknown matcher %q (known: %s)", name, strings.Join(Names(), ", "))
+	}
+	return e.New(), e.NeedsTraining, nil
+}
+
+// Names lists the registered matcher CLI names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PricingModel returns the Table 6 model name used to price one inference
+// call of the named matcher, or "" when the matcher has no per-call cost
+// model.
+func PricingModel(name string) string {
+	return registry[strings.ToLower(name)].PricingModel
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/record"
+)
+
+// Serving benchmarks for BENCH_pr3.json (see the bench-json-serve Make
+// target): single-pair latency, batched throughput and the cache-hit fast
+// path, for one cheap matcher (stringsim) and one expensive prompted
+// matcher (gpt-4). All go through Submit — the same pipeline the HTTP
+// handler drives — so they measure dispatch, scoring, caching and cost
+// accounting, without the HTTP stack.
+
+func benchServer(b *testing.B, matcher string, cacheCap int) (*Server, []record.Pair) {
+	b.Helper()
+	srv, err := New(trained(b, matcher), Config{
+		MatcherName:   matcher,
+		CacheCapacity: cacheCap,
+		Workers:       2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Shutdown)
+	return srv, benchmarkPairs(b, "ABT", 256)
+}
+
+func benchSingle(b *testing.B, matcher string) {
+	srv, pairs := benchServer(b, matcher, 0)
+	one := make([]record.Pair, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		one[0] = pairs[i%len(pairs)]
+		if _, err := srv.Submit(context.Background(), one); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchBatched(b *testing.B, matcher string) {
+	srv, pairs := benchServer(b, matcher, 0)
+	const per = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := (i * per) % len(pairs)
+		end := at + per
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		if _, err := srv.Submit(context.Background(), pairs[at:end]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCacheHit(b *testing.B, matcher string) {
+	srv, pairs := benchServer(b, matcher, 1<<12)
+	// Warm the cache with the full replay set.
+	if _, err := srv.Submit(context.Background(), pairs); err != nil {
+		b.Fatal(err)
+	}
+	one := make([]record.Pair, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		one[0] = pairs[i%len(pairs)]
+		res, err := srv.Submit(context.Background(), one)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Cached[0] {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+func BenchmarkServeSinglePairStringSim(b *testing.B) { benchSingle(b, "stringsim") }
+func BenchmarkServeSinglePairGPT4(b *testing.B)      { benchSingle(b, "gpt-4") }
+func BenchmarkServeBatched64StringSim(b *testing.B)  { benchBatched(b, "stringsim") }
+func BenchmarkServeBatched64GPT4(b *testing.B)       { benchBatched(b, "gpt-4") }
+func BenchmarkServeCacheHitStringSim(b *testing.B)   { benchCacheHit(b, "stringsim") }
+func BenchmarkServeCacheHitGPT4(b *testing.B)        { benchCacheHit(b, "gpt-4") }

@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/matchers"
+	"repro/internal/record"
+)
+
+// Admission errors; the HTTP layer maps them onto status codes (429 for a
+// full queue, 503 for draining, 413 for oversized requests).
+var (
+	ErrQueueFull = errors.New("serve: admission queue full")
+	ErrDraining  = errors.New("serve: server draining")
+	ErrTooLarge  = errors.New("serve: request exceeds max pairs per request")
+)
+
+// MatchResult is the outcome of one admitted request.
+type MatchResult struct {
+	// Preds holds the match decision per input pair.
+	Preds []bool
+	// Cached marks which decisions came from the prediction cache.
+	Cached []bool
+	// CostUSD is the priced inference cost of the scored (non-cached)
+	// pairs; zero for unpriced matchers and for pure cache hits.
+	CostUSD float64
+	// Tokens is the input-token count the scored pairs were priced at.
+	Tokens int
+}
+
+// request is one admitted match request travelling through the queue: the
+// cache-miss pairs, their canonical keys, their positions in the caller's
+// result, and the completion signal the handler waits on.
+type request struct {
+	ctx      context.Context
+	pairs    []record.Pair
+	keys     []string // aligned with pairs; nil when results are uncacheable
+	slots    []int    // position of each pair in res.Preds
+	res      *MatchResult
+	done     chan struct{}
+	enqueued time.Time
+}
+
+// finish publishes the request's results to the waiting handler. Called
+// exactly once, by the worker that owns the request.
+func (r *request) finish() { close(r.done) }
+
+// Submit admits pairs for matching and blocks until every pair is decided
+// or ctx is done. It is the single entry point the HTTP handler, the smoke
+// check and the load generator all go through.
+func (s *Server) Submit(ctx context.Context, pairs []record.Pair) (*MatchResult, error) {
+	if len(pairs) == 0 {
+		return &MatchResult{}, nil
+	}
+	if len(pairs) > s.cfg.MaxPairsPerRequest {
+		return nil, ErrTooLarge
+	}
+	s.metrics.requests.Add(1)
+	start := time.Now()
+
+	res := &MatchResult{Preds: make([]bool, len(pairs)), Cached: make([]bool, len(pairs))}
+	cacheable := s.semantics != SemRequestBatch && s.cfg.CacheCapacity > 0
+
+	// Resolve cache hits up front: hits never enter the queue, never hold
+	// a worker, and cost nothing.
+	var misses []record.Pair
+	var keys []string
+	var slots []int
+	if cacheable {
+		for i, p := range pairs {
+			key := s.pairKey(p)
+			if match, ok := s.cache.Get(key); ok {
+				res.Preds[i], res.Cached[i] = match, true
+				continue
+			}
+			misses = append(misses, p)
+			keys = append(keys, key)
+			slots = append(slots, i)
+		}
+	} else {
+		misses = pairs
+		slots = make([]int, len(pairs))
+		for i := range slots {
+			slots[i] = i
+		}
+	}
+	s.metrics.pairsCached.Add(int64(len(pairs) - len(misses)))
+	if len(misses) == 0 {
+		s.metrics.requestsOK.Add(1)
+		s.metrics.observeLatency(time.Since(start))
+		return res, nil
+	}
+
+	req := &request{
+		ctx:      ctx,
+		pairs:    misses,
+		keys:     keys,
+		slots:    slots,
+		res:      res,
+		done:     make(chan struct{}),
+		enqueued: start,
+	}
+	if err := s.enqueue(req); err != nil {
+		return nil, err
+	}
+	select {
+	case <-req.done:
+		s.metrics.requestsOK.Add(1)
+		s.metrics.observeLatency(time.Since(start))
+		return res, nil
+	case <-ctx.Done():
+		// The request stays queued; its owning worker sees the expired
+		// context and discards it without scoring.
+		s.metrics.deadlineExceeded.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// enqueue performs bounded, non-blocking admission. The shared lock pairs
+// with Shutdown's exclusive lock so a send can never race the queue close.
+func (s *Server) enqueue(req *request) error {
+	s.admit.RLock()
+	defer s.admit.RUnlock()
+	if s.draining {
+		s.metrics.shedDraining.Add(1)
+		return ErrDraining
+	}
+	select {
+	case s.queue <- req:
+		return nil
+	default:
+		s.metrics.shedQueueFull.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// QueueDepth returns the number of requests waiting for a worker.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// worker is one scoring goroutine: it blocks on the queue, coalesces
+// waiting work into a bounded micro-batch, and scores it under the
+// matcher's serving semantics. Workers drain the queue completely after
+// Shutdown closes it, which is what makes shutdown graceful.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for first := range s.queue {
+		s.runBatch(s.coalesce(first))
+	}
+}
+
+// coalesce greedily drains queued requests into first's micro-batch until
+// MaxBatch pairs are gathered, the queue empties (after an optional
+// BatchWait grace for stragglers), or the queue closes. Request-batch
+// matchers never coalesce: each request is its own batch by definition,
+// and spreading requests across workers beats serialising them on one.
+func (s *Server) coalesce(first *request) []*request {
+	batch := []*request{first}
+	if s.semantics == SemRequestBatch || s.cfg.MaxBatch <= 1 {
+		return batch
+	}
+	n := len(first.pairs)
+	var grace <-chan time.Time
+	if s.cfg.BatchWait > 0 {
+		t := time.NewTimer(s.cfg.BatchWait)
+		defer t.Stop()
+		grace = t.C
+	}
+	for n < s.cfg.MaxBatch {
+		select {
+		case r, ok := <-s.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, r)
+			n += len(r.pairs)
+		default:
+			if grace == nil {
+				return batch
+			}
+			select {
+			case r, ok := <-s.queue:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, r)
+				n += len(r.pairs)
+			case <-grace:
+				return batch
+			}
+		}
+	}
+	return batch
+}
+
+// runBatch scores one coalesced micro-batch. Requests whose deadline
+// expired while queued are discarded unscored — their handler has already
+// answered 503, and scoring them would only steal capacity from live
+// traffic.
+func (s *Server) runBatch(batch []*request) {
+	live := make([]*request, 0, len(batch))
+	npairs := 0
+	for _, r := range batch {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			s.metrics.pairsExpired.Add(int64(len(r.pairs)))
+			r.finish()
+			continue
+		}
+		live = append(live, r)
+		npairs += len(r.pairs)
+	}
+	if len(live) == 0 {
+		return
+	}
+	s.metrics.observeBatch(npairs)
+	switch s.semantics {
+	case SemBatchInvariant:
+		s.scoreCoalesced(live, npairs)
+	case SemSinglePair:
+		s.scoreSingles(live)
+	case SemRequestBatch:
+		s.scoreRequests(live)
+	}
+}
+
+// scoreCoalesced feeds every live pair to the matcher as one batch — valid
+// only under batch-invariant semantics, where the grouping provably cannot
+// change any decision — then scatters results back to their requests.
+func (s *Server) scoreCoalesced(live []*request, npairs int) {
+	task := matchers.Task{Pairs: make([]record.Pair, 0, npairs), Opts: s.opts}
+	for _, r := range live {
+		task.Pairs = append(task.Pairs, r.pairs...)
+	}
+	preds := s.matcher.Predict(task)
+	i := 0
+	for _, r := range live {
+		for j := range r.pairs {
+			s.deliver(r, j, preds[i])
+			i++
+		}
+		r.finish()
+	}
+	s.metrics.pairsScored.Add(int64(npairs))
+}
+
+// scoreSingles scores each pair as its own batch of one — the canonical
+// online semantics for batch-sensitive prompted matchers. The coalesced
+// batch still amortises queue handoffs; only the matcher invocation is
+// per-pair.
+func (s *Server) scoreSingles(live []*request) {
+	single := make([]record.Pair, 1)
+	for _, r := range live {
+		for j, p := range r.pairs {
+			single[0] = p
+			preds := s.matcher.Predict(matchers.Task{Pairs: single, Opts: s.opts})
+			s.deliver(r, j, preds[0])
+			s.metrics.pairsScored.Add(1)
+		}
+		r.finish()
+	}
+}
+
+// scoreRequests scores each request as its own batch under the request's
+// own context — ZeroER's mixture sees exactly the batch the client sent,
+// matching offline cmd/emmatch output for the same pairs.
+func (s *Server) scoreRequests(live []*request) {
+	for _, r := range live {
+		preds, err := matchers.PredictCtx(r.ctx, s.matcher, matchers.Task{Pairs: r.pairs, Opts: s.opts})
+		if err == nil {
+			for j := range r.pairs {
+				s.deliver(r, j, preds[j])
+			}
+			s.metrics.pairsScored.Add(int64(len(r.pairs)))
+		} else {
+			s.metrics.pairsExpired.Add(int64(len(r.pairs)))
+		}
+		r.finish()
+	}
+}
+
+// deliver writes one scored decision into its request slot, feeds the
+// prediction cache, and accounts the pair's priced cost.
+func (s *Server) deliver(r *request, j int, match bool) {
+	r.res.Preds[r.slots[j]] = match
+	if r.keys != nil {
+		s.cache.Put(r.keys[j], match)
+	}
+	if s.pricingRate != 0 {
+		d, t := s.pairCost(r.pairs[j])
+		r.res.CostUSD += d
+		r.res.Tokens += t
+		s.metrics.scoredTokens.Add(int64(t))
+	}
+}

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/record"
+)
+
+// PairJSON is one candidate pair on the wire: the two records' attribute
+// values in schema order. Record IDs are optional and never shown to the
+// matcher (cross-dataset restriction 2 applies online too).
+type PairJSON struct {
+	LeftID  string   `json:"left_id,omitempty"`
+	RightID string   `json:"right_id,omitempty"`
+	Left    []string `json:"left"`
+	Right   []string `json:"right"`
+}
+
+// MatchRequest is the /match request body. Either Left/Right (one pair)
+// or Pairs (a batch) must be set.
+type MatchRequest struct {
+	Left  []string   `json:"left,omitempty"`
+	Right []string   `json:"right,omitempty"`
+	Pairs []PairJSON `json:"pairs,omitempty"`
+	// DeadlineMs bounds this request's total latency; past it the request
+	// fails with 503 instead of queueing forever. Zero uses the server's
+	// default deadline, if any.
+	DeadlineMs int `json:"deadline_ms,omitempty"`
+}
+
+// MatchResponse is the /match success body.
+type MatchResponse struct {
+	Matcher     string  `json:"matcher"`
+	Predictions []bool  `json:"predictions"`
+	Cached      []bool  `json:"cached"`
+	CostUSD     float64 `json:"cost_usd"`
+	Tokens      int     `json:"tokens,omitempty"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP routes: POST /match, GET /healthz,
+// GET /stats.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/match", s.handleMatch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req MatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	pairs, err := req.toPairs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ctx := r.Context()
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMs > 0 {
+		deadline = time.Duration(req.DeadlineMs) * time.Millisecond
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+
+	start := time.Now()
+	res, err := s.Submit(ctx, pairs)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, MatchResponse{
+		Matcher:     s.matcher.Name(),
+		Predictions: res.Preds,
+		Cached:      res.Cached,
+		CostUSD:     res.CostUSD,
+		Tokens:      res.Tokens,
+		ElapsedMs:   float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// toPairs validates the request and converts it to record pairs.
+func (r *MatchRequest) toPairs() ([]record.Pair, error) {
+	single := len(r.Left) > 0 || len(r.Right) > 0
+	if single && len(r.Pairs) > 0 {
+		return nil, errors.New("set either left/right or pairs, not both")
+	}
+	if single {
+		if len(r.Left) == 0 || len(r.Right) == 0 {
+			return nil, errors.New("both left and right are required")
+		}
+		r.Pairs = []PairJSON{{Left: r.Left, Right: r.Right}}
+	}
+	if len(r.Pairs) == 0 {
+		return nil, errors.New("no pairs in request")
+	}
+	pairs := make([]record.Pair, len(r.Pairs))
+	for i, p := range r.Pairs {
+		if len(p.Left) == 0 || len(p.Right) == 0 {
+			return nil, fmt.Errorf("pair %d: both left and right are required", i)
+		}
+		pairs[i] = record.Pair{
+			Left:  record.Record{ID: p.LeftID, Values: p.Left},
+			Right: record.Record{ID: p.RightID, Values: p.Right},
+		}
+	}
+	return pairs, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.admit.RLock()
+	draining := s.draining
+	s.admit.RUnlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"matcher":    s.matcher.Name(),
+		"semantics":  s.semantics.String(),
+		"uptime_sec": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// statusFor maps pipeline errors onto HTTP status codes: a full queue is
+// retryable back-pressure (429), draining and expired deadlines are
+// service-side unavailability (503), oversized requests are the client's
+// fault (413).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrTooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/matchers"
+	"repro/internal/record"
+)
+
+// The load generator replays benchmark pairs against a running service at
+// a target rate and reports what the paper's cost analysis can only
+// estimate offline: sustained throughput, tail latency, shed rate, cache
+// effectiveness and dollar cost under real concurrent traffic. Its
+// headline mode compares a single-request closed-loop baseline (no
+// batching, no cache) against the full serving pipeline, which is the
+// speedup the micro-batching dispatcher and prediction cache exist to buy.
+
+// LoadGenConfig parameterises one load-generation run.
+type LoadGenConfig struct {
+	// QPS is the target request arrival rate; <=0 runs closed-loop at
+	// maximum throughput.
+	QPS float64
+	// Duration bounds the run; defaults to 5s.
+	Duration time.Duration
+	// Concurrency is the number of in-flight client workers; <=0
+	// defaults to 8.
+	Concurrency int
+	// PairsPerRequest is the request batch size; <=0 defaults to 1
+	// (single-pair traffic).
+	PairsPerRequest int
+	// DeadlineMs is the per-request deadline forwarded to the service;
+	// zero sends none.
+	DeadlineMs int
+}
+
+func (c LoadGenConfig) withDefaults() LoadGenConfig {
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.PairsPerRequest <= 0 {
+		c.PairsPerRequest = 1
+	}
+	return c
+}
+
+// LoadReport is the outcome of one load-generation run.
+type LoadReport struct {
+	Requests   int64   `json:"requests"`
+	OK         int64   `json:"ok"`
+	Rejected   int64   `json:"rejected"`      // 429/503 responses
+	Errors     int64   `json:"errors"`        // transport or 5xx failures
+	ClientSkip int64   `json:"client_skipped"` // open-loop ticks with no free worker
+	Pairs      int64   `json:"pairs"`
+	Elapsed    float64 `json:"elapsed_sec"`
+	ReqPerSec  float64 `json:"req_per_sec"`
+	PairPerSec float64 `json:"pairs_per_sec"`
+	P50Ms      float64 `json:"latency_p50_ms"`
+	P95Ms      float64 `json:"latency_p95_ms"`
+	P99Ms      float64 `json:"latency_p99_ms"`
+	CostUSD    float64 `json:"cost_usd"`
+}
+
+// GenerateLoad replays pairs (cycling) as /match requests against baseURL.
+func GenerateLoad(baseURL string, pairs []record.Pair, cfg LoadGenConfig) (LoadReport, error) {
+	cfg = cfg.withDefaults()
+	if len(pairs) == 0 {
+		return LoadReport{}, fmt.Errorf("loadgen: no pairs to replay")
+	}
+	// Pre-marshal the request bodies once per distinct chunk: the
+	// generator should spend its cycles on traffic, not JSON encoding.
+	bodies, err := marshalChunks(pairs, cfg.PairsPerRequest, cfg.DeadlineMs)
+	if err != nil {
+		return LoadReport{}, err
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.Concurrency * 2,
+		MaxIdleConnsPerHost: cfg.Concurrency * 2,
+	}}
+	var rep LoadReport
+	var costMicro atomic.Int64 // micro-dollars, summed atomically
+	var mu sync.Mutex
+	var lats []time.Duration
+
+	jobs := make(chan int, cfg.Concurrency)
+	var wg sync.WaitGroup
+	wg.Add(cfg.Concurrency)
+	for w := 0; w < cfg.Concurrency; w++ {
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				body := bodies[idx%len(bodies)]
+				t0 := time.Now()
+				status, resp, err := postMatch(client, baseURL, body)
+				lat := time.Since(t0)
+				switch {
+				case err != nil:
+					atomic.AddInt64(&rep.Errors, 1)
+				case status == http.StatusOK:
+					atomic.AddInt64(&rep.OK, 1)
+					atomic.AddInt64(&rep.Pairs, int64(len(resp.Predictions)))
+					costMicro.Add(int64(resp.CostUSD * 1e6))
+					mu.Lock()
+					lats = append(lats, lat)
+					mu.Unlock()
+				case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+					atomic.AddInt64(&rep.Rejected, 1)
+				default:
+					atomic.AddInt64(&rep.Errors, 1)
+				}
+			}
+		}()
+	}
+
+	// Drive arrivals: paced when QPS > 0, closed-loop otherwise.
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	n := 0
+	for time.Now().Before(deadline) {
+		if cfg.QPS > 0 {
+			next := start.Add(time.Duration(float64(n) / cfg.QPS * float64(time.Second)))
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			select {
+			case jobs <- n:
+				rep.Requests++
+			default:
+				// All workers busy: an open-loop generator never blocks,
+				// it records the missed tick and moves on.
+				rep.ClientSkip++
+			}
+		} else {
+			jobs <- n
+			rep.Requests++
+		}
+		n++
+	}
+	close(jobs)
+	wg.Wait()
+	rep.Elapsed = time.Since(start).Seconds()
+	rep.CostUSD = float64(costMicro.Load()) / 1e6
+	if rep.Elapsed > 0 {
+		rep.ReqPerSec = float64(rep.OK) / rep.Elapsed
+		rep.PairPerSec = float64(rep.Pairs) / rep.Elapsed
+	}
+	rep.P50Ms, rep.P95Ms, rep.P99Ms = latencyQuantiles(lats)
+	return rep, nil
+}
+
+// marshalChunks pre-encodes the replay set as /match bodies of the given
+// batch size.
+func marshalChunks(pairs []record.Pair, per, deadlineMs int) ([][]byte, error) {
+	var bodies [][]byte
+	for at := 0; at < len(pairs); at += per {
+		end := at + per
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		req := MatchRequest{DeadlineMs: deadlineMs}
+		for _, p := range pairs[at:end] {
+			req.Pairs = append(req.Pairs, PairJSON{Left: p.Left.Values, Right: p.Right.Values})
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, b)
+	}
+	return bodies, nil
+}
+
+func postMatch(client *http.Client, baseURL string, body []byte) (int, *MatchResponse, error) {
+	resp, err := client.Post(baseURL+"/match", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil, nil
+	}
+	var mr MatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, &mr, nil
+}
+
+func latencyQuantiles(lats []time.Duration) (p50, p95, p99 float64) {
+	if len(lats) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(lats)-1))
+		return float64(lats[i].Microseconds()) / 1000
+	}
+	return at(0.50), at(0.95), at(0.99)
+}
+
+// ServingComparison is the report of CompareServing: the same matcher and
+// replay set behind a bare single-request pipeline versus the full serving
+// pipeline.
+type ServingComparison struct {
+	Matcher  string     `json:"matcher"`
+	Pairs    int        `json:"replay_pairs"`
+	Baseline LoadReport `json:"baseline"`
+	Served   LoadReport `json:"served"`
+	// Speedup is served pairs/sec over baseline pairs/sec — the factor
+	// micro-batching plus the prediction cache buy on this traffic.
+	Speedup      float64 `json:"speedup"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	MeanBatch    float64 `json:"mean_batch"`
+}
+
+// CompareServing measures the serving pipeline's win on one matcher: a
+// sequential single-request baseline with batching and caching disabled,
+// then the full pipeline (micro-batched requests, prediction cache) under
+// concurrent load, both over real HTTP on loopback listeners.
+func CompareServing(m matchers.Matcher, name string, pairs []record.Pair, cfg LoadGenConfig) (*ServingComparison, error) {
+	cfg = cfg.withDefaults()
+
+	baseline, stop, err := listenServer(m, Config{
+		MatcherName: name, MaxBatch: 1, CacheCapacity: 0, Workers: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseCfg := cfg
+	baseCfg.QPS = 0
+	baseCfg.Concurrency = 1
+	baseCfg.PairsPerRequest = 1
+	baseRep, err := GenerateLoad(baseline, pairs, baseCfg)
+	stop()
+	if err != nil {
+		return nil, err
+	}
+
+	srv, err := New(m, Config{MatcherName: name, CacheCapacity: 1 << 16})
+	if err != nil {
+		return nil, err
+	}
+	url, stopHTTP, err := listen(srv)
+	if err != nil {
+		srv.Shutdown()
+		return nil, err
+	}
+	servedRep, err := GenerateLoad(url, pairs, cfg)
+	stopHTTP()
+	stats := srv.Stats()
+	srv.Shutdown()
+	if err != nil {
+		return nil, err
+	}
+
+	cmp := &ServingComparison{
+		Matcher:      srv.Matcher().Name(),
+		Pairs:        len(pairs),
+		Baseline:     baseRep,
+		Served:       servedRep,
+		CacheHitRate: stats.CacheHitRate,
+		MeanBatch:    stats.MeanBatch,
+	}
+	if baseRep.PairPerSec > 0 {
+		cmp.Speedup = servedRep.PairPerSec / baseRep.PairPerSec
+	}
+	return cmp, nil
+}
+
+// listenServer builds a Server for m under cfg and exposes it on a
+// loopback listener; the returned stop tears down listener and server.
+func listenServer(m matchers.Matcher, cfg Config) (url string, stop func(), err error) {
+	srv, err := New(m, cfg)
+	if err != nil {
+		return "", nil, err
+	}
+	url, stopHTTP, err := listen(srv)
+	if err != nil {
+		srv.Shutdown()
+		return "", nil, err
+	}
+	return url, func() {
+		stopHTTP()
+		srv.Shutdown()
+	}, nil
+}
+
+// listen serves srv.Handler() on an ephemeral loopback port.
+func listen(srv *Server) (url string, stop func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() { _ = hs.Close() }, nil
+}
+
+// RenderComparison formats a serving comparison as the human report the
+// -loadgen CLI mode prints.
+func RenderComparison(c *ServingComparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serving comparison — %s over %d replay pairs\n", c.Matcher, c.Pairs)
+	row := func(name string, r LoadReport) {
+		fmt.Fprintf(&b, "  %-9s %9.0f pairs/s  %8.0f req/s  p50 %7.3fms  p95 %7.3fms  p99 %7.3fms  ok %d  shed %d",
+			name, r.PairPerSec, r.ReqPerSec, r.P50Ms, r.P95Ms, r.P99Ms, r.OK, r.Rejected)
+		if r.CostUSD > 0 {
+			fmt.Fprintf(&b, "  cost $%.4f", r.CostUSD)
+		}
+		b.WriteString("\n")
+	}
+	row("baseline", c.Baseline)
+	row("served", c.Served)
+	fmt.Fprintf(&b, "  speedup %.1fx  (cache hit rate %.1f%%, mean batch %.1f pairs)\n",
+		c.Speedup, 100*c.CacheHitRate, c.MeanBatch)
+	return b.String()
+}

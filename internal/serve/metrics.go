@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the server's lock-free instrumentation: plain atomic counters
+// plus two fixed-bucket histograms (batch sizes and request latency).
+// Everything is written on the hot path with single atomic adds and read
+// only by /stats snapshots, so there is no aggregation lock anywhere.
+type metrics struct {
+	requests         atomic.Int64 // admitted /match requests
+	requestsOK       atomic.Int64 // requests answered with predictions
+	shedQueueFull    atomic.Int64 // rejected: admission queue full (429)
+	shedDraining     atomic.Int64 // rejected: draining (503)
+	deadlineExceeded atomic.Int64 // failed: deadline expired waiting (503)
+
+	pairsScored  atomic.Int64 // pairs the matcher actually scored
+	pairsCached  atomic.Int64 // pairs answered from the prediction cache
+	pairsExpired atomic.Int64 // queued pairs discarded past their deadline
+
+	scoredTokens atomic.Int64 // priced input tokens across scored pairs
+
+	// batchSizes[k] counts micro-batches of exactly k pairs (k clamped to
+	// the configured maximum).
+	batchSizes []atomic.Int64
+
+	// latency is a log2 histogram of request latency in microseconds:
+	// bucket k counts requests with latency in [2^(k-1), 2^k) µs. 40
+	// buckets span sub-microsecond to ~6 days.
+	latency [40]atomic.Int64
+}
+
+func (m *metrics) init(maxBatch int) {
+	m.batchSizes = make([]atomic.Int64, maxBatch+1)
+}
+
+func (m *metrics) observeBatch(n int) {
+	if n >= len(m.batchSizes) {
+		n = len(m.batchSizes) - 1
+	}
+	m.batchSizes[n].Add(1)
+}
+
+func (m *metrics) observeLatency(d time.Duration) {
+	us := uint64(d.Microseconds())
+	k := bits.Len64(us) // 0 for <1µs
+	if k >= len(m.latency) {
+		k = len(m.latency) - 1
+	}
+	m.latency[k].Add(1)
+}
+
+// latencyQuantile returns the upper bound (in microseconds) of the bucket
+// containing quantile q, or 0 with no observations. Log2 buckets bound the
+// relative error at 2x — coarse, but allocation-free and exact enough for
+// p50/p95/p99 load reporting.
+func (m *metrics) latencyQuantile(q float64) float64 {
+	var total int64
+	for i := range m.latency {
+		total += m.latency[i].Load()
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total-1)) + 1
+	var seen int64
+	for i := range m.latency {
+		seen += m.latency[i].Load()
+		if seen >= rank {
+			return float64(uint64(1) << i)
+		}
+	}
+	return float64(uint64(1) << (len(m.latency) - 1))
+}
+
+// Stats is the /stats snapshot.
+type Stats struct {
+	Matcher   string `json:"matcher"`
+	Semantics string `json:"semantics"`
+	UptimeSec float64 `json:"uptime_sec"`
+
+	Requests         int64 `json:"requests"`
+	RequestsOK       int64 `json:"requests_ok"`
+	ShedQueueFull    int64 `json:"shed_queue_full"`
+	ShedDraining     int64 `json:"shed_draining"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+
+	PairsScored  int64 `json:"pairs_scored"`
+	PairsCached  int64 `json:"pairs_cached"`
+	PairsExpired int64 `json:"pairs_expired"`
+
+	QueueDepth int     `json:"queue_depth"`
+	Workers    int     `json:"workers"`
+	MaxBatch   int     `json:"max_batch"`
+	MeanBatch  float64 `json:"mean_batch"`
+	// BatchSizes maps micro-batch size (as a 1-based index into the
+	// slice) to how many batches of that size ran; index 0 is unused.
+	BatchSizes []int64 `json:"batch_sizes"`
+
+	CacheLen     int     `json:"cache_len"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	LatencyP50Us float64 `json:"latency_p50_us"`
+	LatencyP95Us float64 `json:"latency_p95_us"`
+	LatencyP99Us float64 `json:"latency_p99_us"`
+
+	PricingModel string  `json:"pricing_model,omitempty"`
+	RatePer1K    float64 `json:"rate_per_1k_tokens,omitempty"`
+	ScoredTokens int64   `json:"scored_tokens"`
+	TotalCostUSD float64 `json:"total_cost_usd"`
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	m := &s.metrics
+	st := Stats{
+		Matcher:          s.matcher.Name(),
+		Semantics:        s.semantics.String(),
+		UptimeSec:        time.Since(s.started).Seconds(),
+		Requests:         m.requests.Load(),
+		RequestsOK:       m.requestsOK.Load(),
+		ShedQueueFull:    m.shedQueueFull.Load(),
+		ShedDraining:     m.shedDraining.Load(),
+		DeadlineExceeded: m.deadlineExceeded.Load(),
+		PairsScored:      m.pairsScored.Load(),
+		PairsCached:      m.pairsCached.Load(),
+		PairsExpired:     m.pairsExpired.Load(),
+		QueueDepth:       s.QueueDepth(),
+		Workers:          s.cfg.Workers,
+		MaxBatch:         s.cfg.MaxBatch,
+		CacheLen:         s.cache.Len(),
+		LatencyP50Us:     m.latencyQuantile(0.50),
+		LatencyP95Us:     m.latencyQuantile(0.95),
+		LatencyP99Us:     m.latencyQuantile(0.99),
+		PricingModel:     s.pricingModel,
+		RatePer1K:        s.pricingRate,
+		ScoredTokens:     m.scoredTokens.Load(),
+	}
+	st.CacheHits, st.CacheMisses = s.cache.Stats()
+	st.CacheHitRate = s.cache.HitRate()
+	st.BatchSizes = make([]int64, len(m.batchSizes))
+	var batches, pairs int64
+	for i := range m.batchSizes {
+		c := m.batchSizes[i].Load()
+		st.BatchSizes[i] = c
+		batches += c
+		pairs += c * int64(i)
+	}
+	if batches > 0 {
+		st.MeanBatch = float64(pairs) / float64(batches)
+	}
+	if s.pricingRate != 0 {
+		st.TotalCostUSD = float64(st.ScoredTokens) / 1000 * s.pricingRate
+	}
+	return st
+}

@@ -1,0 +1,278 @@
+// Package serve is the online face of the reproduction: an entity-matching
+// service that loads any matcher from the study and answers match requests
+// over HTTP — the workload the ROADMAP's "heavy traffic" north star asks
+// for, and the deployment scenario whose per-pair cost and latency the
+// paper's Table 6 prices offline.
+//
+// The serving core has three load-bearing pieces:
+//
+//   - A micro-batching dispatcher (dispatch.go): concurrent requests enter
+//     one bounded admission queue; pool workers drain the queue and
+//     coalesce waiting pairs into bounded batches, so under load each
+//     matcher invocation amortises its fixed costs over many pairs while
+//     light traffic still sees single-pair latency.
+//
+//   - A sharded LRU prediction cache (cache.go) keyed by the canonical
+//     serialized pair. A hit skips serialization, text profiling,
+//     featurization and the model call entirely — and costs zero dollars
+//     on prompted matchers. The serialize cache (internal/record) and the
+//     process-wide text-profile cache (internal/textsim) sit underneath
+//     for the misses, so even cold pairs never re-serialize or re-profile
+//     hot records.
+//
+//   - Admission control: a bounded queue that sheds load with 429 when
+//     full, per-request deadlines that fail queued work with 503 instead
+//     of serving stale answers, context-propagated cancellation via
+//     matchers.PredictCtx (the cancellation path shared with cmd/emmatch),
+//     and graceful shutdown that drains in-flight batches before the
+//     listener closes.
+//
+// # Serving semantics
+//
+// Offline, the study scores whole candidate sets in one batch, and some
+// matchers are batch-sensitive: the prompted LLMs place their decision
+// threshold adaptively from the batch's score distribution, and ZeroER
+// fits its mixture on the full batch. Online traffic has no natural batch,
+// so the service fixes the semantics per matcher class (SemanticsFor):
+//
+//   - Batch-invariant matchers (StringSim and the fine-tuned SLMs) score
+//     each pair independently, so micro-batching is a pure optimisation:
+//     predictions are bit-identical whether pairs arrive one at a time,
+//     in one request, or coalesced — and identical to offline cmd/emmatch
+//     output for the same pairs.
+//
+//   - Batch-sensitive prompted matchers (MatchGPT models, Jellyfish) are
+//     served under single-pair semantics: every pair is scored as its own
+//     batch of one, making the decision a deterministic function of the
+//     pair alone — cacheable, and independent of request grouping.
+//
+//   - ZeroER is batch-only (its mixture needs the batch's similarity
+//     distribution — a drawback the paper documents), so each request is
+//     scored as its own batch and results bypass the prediction cache.
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/matchers"
+	"repro/internal/par"
+	"repro/internal/record"
+	"repro/internal/textsim"
+)
+
+// Semantics fixes how a matcher's offline batch behaviour maps onto
+// online traffic; see the package comment.
+type Semantics int
+
+const (
+	// SemBatchInvariant marks per-pair-decomposable matchers: coalesced
+	// micro-batches are scored in one Predict call with bit-identical
+	// results to any other grouping.
+	SemBatchInvariant Semantics = iota
+	// SemSinglePair marks batch-sensitive prompted matchers: each pair is
+	// scored as its own batch of one, so decisions depend only on the pair.
+	SemSinglePair
+	// SemRequestBatch marks batch-only matchers (ZeroER): the client's
+	// request is the batch; results are not per-pair deterministic and
+	// bypass the prediction cache.
+	SemRequestBatch
+)
+
+// String returns the semantics name used by /healthz and /stats.
+func (s Semantics) String() string {
+	switch s {
+	case SemBatchInvariant:
+		return "batch-invariant"
+	case SemSinglePair:
+		return "single-pair"
+	case SemRequestBatch:
+		return "request-batch"
+	default:
+		return fmt.Sprintf("Semantics(%d)", int(s))
+	}
+}
+
+// SemanticsFor classifies a registry matcher name.
+func SemanticsFor(name string) Semantics {
+	switch strings.ToLower(name) {
+	case "zeroer":
+		return SemRequestBatch
+	case "stringsim", "ditto", "unicorn", "anymatch-gpt2", "anymatch-t5", "anymatch-llama":
+		return SemBatchInvariant
+	default:
+		// Prompted LLM matchers: batch-adaptive thresholds make them
+		// batch-sensitive offline, so they serve under single-pair
+		// semantics.
+		return SemSinglePair
+	}
+}
+
+// Config parameterises a Server.
+type Config struct {
+	// MatcherName is the registry name the matcher was built from; it
+	// selects serving semantics and the pricing model. Required.
+	MatcherName string
+	// Semantics overrides SemanticsFor(MatcherName) when non-nil (tests
+	// inject stub matchers with explicit semantics).
+	Semantics *Semantics
+
+	// Workers is the scoring pool size; <=0 means one per CPU
+	// (par.Workers).
+	Workers int
+	// MaxBatch bounds how many pairs a worker coalesces into one matcher
+	// invocation; <=0 defaults to 64.
+	MaxBatch int
+	// BatchWait is how long a worker holding a non-full batch waits for
+	// stragglers before scoring. Zero (the default) never waits: light
+	// traffic gets immediate single-pair latency, heavy traffic fills
+	// batches from the queue alone.
+	BatchWait time.Duration
+	// QueueDepth bounds the admission queue in requests; <=0 defaults to
+	// 1024. A full queue sheds load with 429.
+	QueueDepth int
+	// MaxPairsPerRequest bounds one request's batch; <=0 defaults to 256.
+	// Larger requests are rejected with 413.
+	MaxPairsPerRequest int
+	// DefaultDeadline bounds request latency when the client sets no
+	// deadline_ms; zero means no default deadline.
+	DefaultDeadline time.Duration
+	// CacheCapacity is the prediction-cache size in entries; <=0 disables
+	// caching. CacheShards is the shard count (defaults to 16).
+	CacheCapacity int
+	CacheShards   int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxPairsPerRequest <= 0 {
+		c.MaxPairsPerRequest = 256
+	}
+	c.Workers = par.Workers(c.Workers)
+	return c
+}
+
+// Server is one loaded matcher behind the serving pipeline. Create with
+// New, serve HTTP via Handler, stop with Shutdown.
+type Server struct {
+	cfg       Config
+	matcher   matchers.Matcher
+	semantics Semantics
+
+	// pricing, when non-zero, prices every scored pair at rate dollars per
+	// 1K input tokens (prompted matchers only).
+	pricingModel string
+	pricingRate  float64
+
+	cache    *PredCache
+	sercache *record.SerializeCache
+	profiles *textsim.ProfileCache
+	opts     record.SerializeOptions
+
+	queue chan *request
+	// admit guards the draining flag against the queue close in Shutdown:
+	// senders hold it shared, Shutdown takes it exclusively to flip
+	// draining, after which no sender can be mid-send.
+	admit    sync.RWMutex
+	draining bool
+	workers  sync.WaitGroup
+
+	metrics metrics
+	started time.Time
+}
+
+// New wraps a trained matcher in the serving pipeline and starts its
+// worker pool. The matcher must be ready to predict (fine-tuned matchers
+// train before serving, exactly like cmd/emmatch) and its Predict must be
+// safe for concurrent use after training — true of every study matcher,
+// whose post-training state is read-only over the concurrency-safe shared
+// caches.
+func New(m matchers.Matcher, cfg Config) (*Server, error) {
+	if m == nil {
+		return nil, fmt.Errorf("serve: nil matcher")
+	}
+	cfg = cfg.withDefaults()
+	sem := SemanticsFor(cfg.MatcherName)
+	if cfg.Semantics != nil {
+		sem = *cfg.Semantics
+	}
+	s := &Server{
+		cfg:       cfg,
+		matcher:   m,
+		semantics: sem,
+		cache:     NewPredCache(cfg.CacheCapacity, cfg.CacheShards),
+		sercache:  record.NewSerializeCache(),
+		profiles:  textsim.Shared(),
+		queue:     make(chan *request, cfg.QueueDepth),
+		started:   time.Now(),
+	}
+	// Canonical serialization for serving: schema order, default
+	// separator, memoised through the shared serialize cache so repeated
+	// records never re-serialize.
+	s.opts = record.SerializeOptions{Separator: record.DefaultSeparator, Cache: s.sercache}
+	if model := matchers.PricingModel(cfg.MatcherName); model != "" {
+		rate, err := cost.ServingRate(model)
+		if err != nil {
+			return nil, fmt.Errorf("serve: pricing %s: %w", cfg.MatcherName, err)
+		}
+		s.pricingModel, s.pricingRate = model, rate
+	}
+	s.metrics.init(cfg.MaxBatch)
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Matcher returns the served matcher.
+func (s *Server) Matcher() matchers.Matcher { return s.matcher }
+
+// Semantics returns the serving semantics in effect.
+func (s *Server) Semantics() Semantics { return s.semantics }
+
+// Cache returns the prediction cache (for tests and the load generator).
+func (s *Server) Cache() *PredCache { return s.cache }
+
+// Shutdown drains the admission queue and in-flight batches, then stops
+// the worker pool. New requests are rejected with 503 the moment it is
+// called; requests already admitted complete normally. Safe to call once.
+func (s *Server) Shutdown() {
+	s.admit.Lock()
+	already := s.draining
+	s.draining = true
+	s.admit.Unlock()
+	if already {
+		return
+	}
+	// No sender can be mid-send now: enqueue() checks draining under the
+	// shared lock and we just held it exclusively.
+	close(s.queue)
+	s.workers.Wait()
+}
+
+// pairKey returns the canonical cache key of a pair: both serialized
+// records joined with an unprintable separator. Serialization goes through
+// the shared serialize cache, so computing the key of a hot pair is two
+// map hits.
+func (s *Server) pairKey(p record.Pair) string {
+	return record.SerializeRecord(p.Left, s.opts) + "\x1f" + record.SerializeRecord(p.Right, s.opts)
+}
+
+// pairCost returns the dollar cost of scoring one pair, and the token
+// count it contributes (zero for unpriced matchers).
+func (s *Server) pairCost(p record.Pair) (dollars float64, tokens int) {
+	if s.pricingRate == 0 {
+		return 0, 0
+	}
+	t := cost.PairTokens(p, s.opts)
+	return cost.Dollars(int64(t), s.pricingRate), t
+}

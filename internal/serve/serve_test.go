@@ -1,0 +1,560 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/eval"
+	"repro/internal/matchers"
+	"repro/internal/record"
+	"repro/internal/stats"
+)
+
+// stubMatcher is a controllable matcher for pipeline-behaviour tests: it
+// matches when the first attribute values are equal, can block inside
+// Predict until released, and counts invocations.
+type stubMatcher struct {
+	entered chan struct{} // receives one signal per Predict entry, if non-nil
+	release chan struct{} // Predict waits for close, if non-nil
+	calls   atomic.Int64
+	pairs   atomic.Int64
+}
+
+func (s *stubMatcher) Name() string                                     { return "Stub" }
+func (s *stubMatcher) ParamsMillions() float64                          { return 0 }
+func (s *stubMatcher) Train(_ []*record.Dataset, _ *stats.RNG)          {}
+func (s *stubMatcher) Predict(task matchers.Task) []bool {
+	s.calls.Add(1)
+	s.pairs.Add(int64(len(task.Pairs)))
+	if s.entered != nil {
+		s.entered <- struct{}{}
+	}
+	if s.release != nil {
+		<-s.release
+	}
+	out := make([]bool, len(task.Pairs))
+	for i, p := range task.Pairs {
+		out[i] = len(p.Left.Values) > 0 && len(p.Right.Values) > 0 &&
+			p.Left.Values[0] == p.Right.Values[0]
+	}
+	return out
+}
+
+func benchmarkPairs(t testing.TB, name string, n int) []record.Pair {
+	t.Helper()
+	d, err := datasets.Generate(name, eval.DatasetSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > len(d.Pairs) {
+		n = len(d.Pairs)
+	}
+	pairs := make([]record.Pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = d.Pairs[i].Pair
+	}
+	return pairs
+}
+
+func trained(t testing.TB, name string) matchers.Matcher {
+	t.Helper()
+	m, needsTraining, err := matchers.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if needsTraining {
+		t.Fatalf("%s needs transfer training, too slow for this test", name)
+	}
+	m.Train(nil, stats.NewRNG(1).Split("train"))
+	return m
+}
+
+func postMatchJSON(t testing.TB, url string, req MatchRequest) (int, MatchResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/match", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var mr MatchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, mr
+}
+
+func toJSONPairs(pairs []record.Pair) []PairJSON {
+	out := make([]PairJSON, len(pairs))
+	for i, p := range pairs {
+		out[i] = PairJSON{Left: p.Left.Values, Right: p.Right.Values}
+	}
+	return out
+}
+
+// TestServedBitIdenticalToOffline pins the acceptance criterion: for a
+// batch-invariant matcher, predictions served over HTTP — whether the
+// pairs arrive as one batch, as singles, or again from the cache — are
+// bit-identical to one offline cmd/emmatch-style Predict over the same
+// pairs.
+func TestServedBitIdenticalToOffline(t *testing.T) {
+	pairs := benchmarkPairs(t, "ABT", 120)
+	m := trained(t, "stringsim")
+	offline := m.Predict(matchers.Task{Pairs: pairs})
+
+	srv, err := New(m, Config{MatcherName: "stringsim", CacheCapacity: 1 << 12, MaxBatch: 16, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	// First half as one batch request.
+	half := len(pairs) / 2
+	status, batchResp := postMatchJSON(t, hs.URL, MatchRequest{Pairs: toJSONPairs(pairs[:half])})
+	if status != http.StatusOK {
+		t.Fatalf("batch: status %d", status)
+	}
+	// Second half as concurrent singles (exercises micro-batch coalescing).
+	singles := make([]bool, len(pairs)-half)
+	var wg sync.WaitGroup
+	for i := half; i < len(pairs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, r := postMatchJSON(t, hs.URL, MatchRequest{
+				Left: pairs[i].Left.Values, Right: pairs[i].Right.Values,
+			})
+			if st != http.StatusOK {
+				t.Errorf("single %d: status %d", i, st)
+				return
+			}
+			singles[i-half] = r.Predictions[0]
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < half; i++ {
+		if batchResp.Predictions[i] != offline[i] {
+			t.Fatalf("batch pair %d: served %v, offline %v", i, batchResp.Predictions[i], offline[i])
+		}
+	}
+	for i := half; i < len(pairs); i++ {
+		if singles[i-half] != offline[i] {
+			t.Fatalf("single pair %d: served %v, offline %v", i, singles[i-half], offline[i])
+		}
+	}
+
+	// Replay everything as one batch: now answered (at least partly) from
+	// the cache, still bit-identical.
+	status, replay := postMatchJSON(t, hs.URL, MatchRequest{Pairs: toJSONPairs(pairs)})
+	if status != http.StatusOK {
+		t.Fatalf("replay: status %d", status)
+	}
+	cachedCount := 0
+	for i := range pairs {
+		if replay.Predictions[i] != offline[i] {
+			t.Fatalf("replay pair %d: served %v, offline %v", i, replay.Predictions[i], offline[i])
+		}
+		if replay.Cached[i] {
+			cachedCount++
+		}
+	}
+	if cachedCount == 0 {
+		t.Fatal("replay should hit the prediction cache")
+	}
+}
+
+// TestBatchEqualsSinglesPrompted pins the single-pair serving semantics of
+// batch-sensitive prompted matchers: a batch request and a sequence of
+// single requests produce bit-identical predictions, because every pair is
+// scored as its own batch of one.
+func TestBatchEqualsSinglesPrompted(t *testing.T) {
+	pairs := benchmarkPairs(t, "FOZA", 40)
+	m := trained(t, "gpt-4")
+	srv, err := New(m, Config{MatcherName: "gpt-4", CacheCapacity: 0, MaxBatch: 8, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	if srv.Semantics() != SemSinglePair {
+		t.Fatalf("gpt-4 semantics = %v, want single-pair", srv.Semantics())
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	status, batch := postMatchJSON(t, hs.URL, MatchRequest{Pairs: toJSONPairs(pairs)})
+	if status != http.StatusOK {
+		t.Fatalf("batch: status %d", status)
+	}
+	if batch.CostUSD <= 0 {
+		t.Fatal("gpt-4 predictions must be priced")
+	}
+	for i, p := range pairs {
+		st, single := postMatchJSON(t, hs.URL, MatchRequest{Left: p.Left.Values, Right: p.Right.Values})
+		if st != http.StatusOK {
+			t.Fatalf("single %d: status %d", i, st)
+		}
+		if single.Predictions[0] != batch.Predictions[i] {
+			t.Fatalf("pair %d: single %v != batch %v", i, single.Predictions[0], batch.Predictions[i])
+		}
+	}
+}
+
+// TestRequestBatchMatchesOffline pins ZeroER's request-batch semantics:
+// the client's batch is the mixture's batch, so a served request equals
+// offline Predict over the same pairs.
+func TestRequestBatchMatchesOffline(t *testing.T) {
+	pairs := benchmarkPairs(t, "FOZA", 80)
+	m := trained(t, "zeroer")
+	offline := m.Predict(matchers.Task{Pairs: pairs, Opts: record.SerializeOptions{Separator: record.DefaultSeparator}})
+
+	srv, err := New(m, Config{MatcherName: "zeroer", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	if srv.Semantics() != SemRequestBatch {
+		t.Fatalf("zeroer semantics = %v, want request-batch", srv.Semantics())
+	}
+	res, err := srv.Submit(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if res.Preds[i] != offline[i] {
+			t.Fatalf("pair %d: served %v, offline %v", i, res.Preds[i], offline[i])
+		}
+		if res.Cached[i] {
+			t.Fatal("request-batch results must bypass the prediction cache")
+		}
+	}
+}
+
+// TestCacheSkipsScoring verifies a cache hit never reaches the matcher —
+// and therefore costs nothing on priced matchers.
+func TestCacheSkipsScoring(t *testing.T) {
+	stub := &stubMatcher{}
+	srv, err := New(stub, Config{MatcherName: "stringsim", CacheCapacity: 64, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	pair := []record.Pair{{
+		Left:  record.Record{Values: []string{"alpha", "1"}},
+		Right: record.Record{Values: []string{"alpha", "2"}},
+	}}
+	if _, err := srv.Submit(context.Background(), pair); err != nil {
+		t.Fatal(err)
+	}
+	if got := stub.calls.Load(); got != 1 {
+		t.Fatalf("first request: %d matcher calls, want 1", got)
+	}
+	res, err := srv.Submit(context.Background(), pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stub.calls.Load(); got != 1 {
+		t.Fatalf("cache hit still reached the matcher (%d calls)", got)
+	}
+	if !res.Cached[0] {
+		t.Fatal("second request should be served from cache")
+	}
+	if hits, _ := srv.Cache().Stats(); hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+}
+
+// TestDeadlineExceededWhileQueued pins the admission-control deadline
+// path: a request whose deadline expires while it waits behind a busy
+// worker fails with 503 and is discarded unscored.
+func TestDeadlineExceededWhileQueued(t *testing.T) {
+	stub := &stubMatcher{entered: make(chan struct{}, 4), release: make(chan struct{})}
+	srv, err := New(stub, Config{MatcherName: "stringsim", Workers: 1, QueueDepth: 8, CacheCapacity: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	blocker := record.Pair{Left: record.Record{Values: []string{"x"}}, Right: record.Record{Values: []string{"x"}}}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = srv.Submit(context.Background(), []record.Pair{blocker})
+	}()
+	<-stub.entered // the only worker is now stuck inside Predict
+
+	status, _ := postMatchJSON(t, hs.URL, MatchRequest{
+		Left: []string{"a"}, Right: []string{"b"}, DeadlineMs: 30,
+	})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("deadline-exceeded status = %d, want 503", status)
+	}
+
+	close(stub.release)
+	wg.Wait()
+	srv.Shutdown()
+	st := srv.Stats()
+	if st.DeadlineExceeded != 1 {
+		t.Fatalf("DeadlineExceeded = %d, want 1", st.DeadlineExceeded)
+	}
+	if st.PairsExpired != 1 {
+		t.Fatalf("PairsExpired = %d, want 1 (expired request must be discarded unscored)", st.PairsExpired)
+	}
+	// The expired pair must never have reached the matcher: one call for
+	// the blocker only.
+	if calls := stub.calls.Load(); calls != 1 {
+		t.Fatalf("matcher calls = %d, want 1", calls)
+	}
+}
+
+// TestQueueFullShedsWith429 pins load shedding: with the one worker busy
+// and the one-slot queue occupied, the next request is rejected
+// immediately with 429.
+func TestQueueFullShedsWith429(t *testing.T) {
+	stub := &stubMatcher{entered: make(chan struct{}, 4), release: make(chan struct{})}
+	srv, err := New(stub, Config{MatcherName: "stringsim", Workers: 1, QueueDepth: 1, CacheCapacity: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	mkPair := func(s string) []record.Pair {
+		return []record.Pair{{Left: record.Record{Values: []string{s}}, Right: record.Record{Values: []string{s}}}}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); _, _ = srv.Submit(context.Background(), mkPair("worker")) }()
+	<-stub.entered // worker occupied
+	go func() { defer wg.Done(); _, _ = srv.Submit(context.Background(), mkPair("queued")) }()
+	// Wait for the second request to occupy the queue slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.QueueDepth() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.QueueDepth() != 1 {
+		t.Fatalf("queue depth = %d, want 1", srv.QueueDepth())
+	}
+
+	status, _ := postMatchJSON(t, hs.URL, MatchRequest{Left: []string{"a"}, Right: []string{"a"}})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("queue-full status = %d, want 429", status)
+	}
+
+	close(stub.release)
+	wg.Wait()
+	srv.Shutdown()
+	if st := srv.Stats(); st.ShedQueueFull != 1 {
+		t.Fatalf("ShedQueueFull = %d, want 1", st.ShedQueueFull)
+	}
+}
+
+// TestGracefulShutdownDrains pins shutdown semantics: admitted requests
+// complete, new requests are rejected with 503.
+func TestGracefulShutdownDrains(t *testing.T) {
+	stub := &stubMatcher{entered: make(chan struct{}, 4), release: make(chan struct{})}
+	srv, err := New(stub, Config{MatcherName: "stringsim", Workers: 1, QueueDepth: 8, CacheCapacity: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []record.Pair{{Left: record.Record{Values: []string{"x"}}, Right: record.Record{Values: []string{"x"}}}}
+
+	type outcome struct {
+		res *MatchResult
+		err error
+	}
+	results := make(chan outcome, 2)
+	submit := func() {
+		res, err := srv.Submit(context.Background(), pairs)
+		results <- outcome{res, err}
+	}
+	go submit()
+	<-stub.entered // first request being scored; only now submit the second
+	go submit()
+	// Wait until the second is admitted to the queue, so both predate
+	// Shutdown.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.QueueDepth() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.QueueDepth() != 1 {
+		t.Fatalf("queue depth = %d, want 1", srv.QueueDepth())
+	}
+
+	done := make(chan struct{})
+	go func() { srv.Shutdown(); close(done) }()
+	time.Sleep(10 * time.Millisecond) // let Shutdown flip draining
+	if _, err := srv.Submit(context.Background(), pairs); err != ErrDraining {
+		t.Fatalf("post-shutdown submit error = %v, want ErrDraining", err)
+	}
+	close(stub.release)
+	<-done
+
+	for i := 0; i < 2; i++ {
+		o := <-results
+		if o.err != nil {
+			t.Fatalf("admitted request %d failed during drain: %v", i, o.err)
+		}
+		if !o.res.Preds[0] {
+			t.Fatalf("admitted request %d: wrong prediction", i)
+		}
+	}
+}
+
+// TestOversizedRequestRejected pins the 413 path.
+func TestOversizedRequestRejected(t *testing.T) {
+	srv, err := New(trained(t, "stringsim"), Config{MatcherName: "stringsim", MaxPairsPerRequest: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	pairs := make([]PairJSON, 5)
+	for i := range pairs {
+		pairs[i] = PairJSON{Left: []string{fmt.Sprint(i)}, Right: []string{fmt.Sprint(i)}}
+	}
+	status, _ := postMatchJSON(t, hs.URL, MatchRequest{Pairs: pairs})
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized status = %d, want 413", status)
+	}
+}
+
+// TestHealthzAndStats pins the observability endpoints.
+func TestHealthzAndStats(t *testing.T) {
+	srv, err := New(trained(t, "stringsim"), Config{MatcherName: "stringsim", CacheCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	postMatchJSON(t, hs.URL, MatchRequest{Left: []string{"a"}, Right: []string{"a"}})
+	sresp, err := http.Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 1 || st.RequestsOK != 1 || st.PairsScored != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Matcher != "StringSim" || st.Semantics != "batch-invariant" {
+		t.Fatalf("stats identity = %q/%q", st.Matcher, st.Semantics)
+	}
+	if st.LatencyP50Us <= 0 {
+		t.Fatal("latency histogram should have one observation")
+	}
+
+	// Draining flips healthz to 503.
+	srv.Shutdown()
+	resp2, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d, want 503", resp2.StatusCode)
+	}
+}
+
+// TestMicroBatchCoalescing verifies the dispatcher actually coalesces
+// concurrent singles into multi-pair matcher invocations under a slow
+// worker.
+func TestMicroBatchCoalescing(t *testing.T) {
+	stub := &stubMatcher{entered: make(chan struct{}, 64), release: make(chan struct{})}
+	srv, err := New(stub, Config{MatcherName: "stringsim", Workers: 1, MaxBatch: 32, QueueDepth: 64, CacheCapacity: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]*MatchResult, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := []record.Pair{{
+				Left:  record.Record{Values: []string{fmt.Sprintf("v%d", i)}},
+				Right: record.Record{Values: []string{fmt.Sprintf("v%d", i)}},
+			}}
+			res, err := srv.Submit(context.Background(), p)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	<-stub.entered // first batch (likely a single) holds the worker
+	// The remaining requests pile into the queue; wait until they are all
+	// there so the next batch must coalesce.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.QueueDepth() < n-1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stub.release)
+	wg.Wait()
+	srv.Shutdown()
+
+	if calls, pairs := stub.calls.Load(), stub.pairs.Load(); pairs != n || calls >= n {
+		t.Fatalf("coalescing: %d pairs over %d matcher calls, want %d pairs over <%d calls", pairs, calls, n, n)
+	}
+	for i, r := range results {
+		if r == nil || !r.Preds[0] {
+			t.Fatalf("request %d: wrong or missing prediction", i)
+		}
+	}
+	st := srv.Stats()
+	if st.MeanBatch <= 1 {
+		t.Fatalf("mean batch = %.2f, want > 1", st.MeanBatch)
+	}
+}
+
+func TestSemanticsClassification(t *testing.T) {
+	cases := map[string]Semantics{
+		"stringsim":      SemBatchInvariant,
+		"ditto":          SemBatchInvariant,
+		"unicorn":        SemBatchInvariant,
+		"anymatch-llama": SemBatchInvariant,
+		"zeroer":         SemRequestBatch,
+		"gpt-4":          SemSinglePair,
+		"GPT-4o-Mini":    SemSinglePair,
+		"jellyfish":      SemSinglePair,
+	}
+	for name, want := range cases {
+		if got := SemanticsFor(name); got != want {
+			t.Errorf("SemanticsFor(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
