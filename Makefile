@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json bench-json-serve verify-parallel vet serve-smoke loadgen-report
+.PHONY: build test bench bench-json bench-json-serve bench-json-obs verify-parallel vet serve-smoke loadgen-report trace-demo
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,14 @@ bench-json-serve:
 		-benchtime=1s -benchmem ./internal/serve | $(GO) run ./cmd/benchjson > BENCH_pr3.json
 	@cat BENCH_pr3.json
 
+# Observability overhead benchmarks: the disabled-instrumentation fast
+# path (must stay 0 allocs/op on the hot kernels) versus enabled tracing,
+# recorded as JSON for regression tracking (see EXPERIMENTS.md).
+bench-json-obs:
+	$(GO) test -run '^$$' -bench 'ObsDisabled|ObsEnabled|StagesDisabled' \
+		-benchtime=1s -benchmem . ./internal/obs | $(GO) run ./cmd/benchjson > BENCH_pr4.json
+	@cat BENCH_pr4.json
+
 # Determinism/concurrency gate for the parallel evaluation engine and the
 # shared caches under it: vet the whole module, then race-test the engine
 # (internal/eval), its scheduling substrate (internal/par), the shared
@@ -39,7 +47,7 @@ bench-json-serve:
 # (internal/serve: micro-batching dispatcher, sharded LRU prediction
 # cache, admission control).
 verify-parallel: vet
-	$(GO) test -race ./internal/par/... ./internal/record/... ./internal/textsim/... ./internal/lm/... ./internal/eval/... ./internal/core/... ./internal/serve/...
+	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/record/... ./internal/textsim/... ./internal/lm/... ./internal/eval/... ./internal/core/... ./internal/serve/...
 
 # Smoke-test the serving binary: start emserve, hit /healthz and /match,
 # assert a 200 on both (emserve -smoke exits non-zero otherwise).
@@ -54,3 +62,11 @@ loadgen-report:
 
 vet:
 	$(GO) vet ./...
+
+# Trace pipeline gate: run a small traced LODO slice through emstudy,
+# then validate the emitted JSONL with tracecheck (every line parses,
+# span IDs are unique, children nest exactly inside their parents) and
+# print the per-stage fold. Non-zero exit on any violation.
+trace-demo:
+	$(GO) run ./cmd/emstudy stages -trace /tmp/emstudy-trace.jsonl
+	$(GO) run ./cmd/tracecheck -stages /tmp/emstudy-trace.jsonl

@@ -30,6 +30,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/eval"
 	"repro/internal/matchers"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/stats"
 )
@@ -45,19 +46,36 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "random seed")
 		parallel    = flag.Int("parallel", 0, "workers for transfer-library generation: 0 = one per CPU, 1 = sequential")
 		timeout     = flag.Duration("timeout", 0, "abort matching after this long (0 = no limit)")
+		tracePath   = flag.String("trace", "", "write a JSONL span trace of the run to this file")
+		metricsDump = flag.Bool("metrics-dump", false, "dump the run's metrics registry as JSON to stderr on exit")
 	)
 	flag.Parse()
 
-	if err := run(*leftPath, *rightPath, *pairsPath, *outPath, *matcherName, *maxCands, *seed, *parallel, *timeout); err != nil {
+	if err := run(*leftPath, *rightPath, *pairsPath, *outPath, *matcherName, *maxCands, *seed, *parallel, *timeout, *tracePath, *metricsDump); err != nil {
 		fmt.Fprintln(os.Stderr, "emmatch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(leftPath, rightPath, pairsPath, outPath, matcherName string, maxCands int, seed uint64, parallel int, timeout time.Duration) error {
+func run(leftPath, rightPath, pairsPath, outPath, matcherName string, maxCands int, seed uint64, parallel int, timeout time.Duration, tracePath string, metricsDump bool) error {
 	m, needsTraining, err := matchers.ByName(matcherName)
 	if err != nil {
 		return err
+	}
+
+	// Observability is opt-in and purely observational: tracing and the
+	// pool metrics never change predictions.
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	if metricsDump {
+		reg := obs.NewRegistry(obs.Label{Key: "cmd", Value: "emmatch"})
+		eval.EnablePoolMetrics(reg)
+		defer func() {
+			eval.EnablePoolMetrics(nil)
+			_ = reg.WriteJSON(os.Stderr)
+		}()
 	}
 
 	// Assemble the candidate pairs.
@@ -118,16 +136,28 @@ func run(leftPath, rightPath, pairsPath, outPath, matcherName string, maxCands i
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	ctx = obs.WithTracer(ctx, tracer)
+	mctx, mspan := obs.Start(ctx, "match")
+	mspan.SetStr("matcher", m.Name())
+	mspan.SetInt("pairs", int64(len(pairs)))
 	task := matchers.Task{Pairs: make([]record.Pair, len(pairs)), Schema: schema}
 	for i, p := range pairs {
 		task.Pairs[i] = p.Pair
 	}
 	start := time.Now()
-	preds, err := matchers.PredictCtx(ctx, m, task)
+	preds, err := matchers.PredictCtx(mctx, m, task)
+	mspan.End()
 	if err != nil {
 		return fmt.Errorf("matching aborted after %s: %w", time.Since(start).Round(time.Millisecond), err)
 	}
 	elapsed := time.Since(start)
+
+	if tracer != nil {
+		if err := writeTrace(tracer, tracePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", tracer.Len(), tracePath)
+	}
 
 	// Report.
 	matched := 0
@@ -162,6 +192,18 @@ func run(leftPath, rightPath, pairsPath, outPath, matcherName string, maxCands i
 		fmt.Fprintf(os.Stderr, "wrote %d matches to %s\n", len(out), outPath)
 	}
 	return nil
+}
+
+func writeTrace(tracer *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func readRelationFile(path string) ([]record.Record, record.Schema, error) {

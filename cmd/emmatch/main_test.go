@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/matchers"
+	"repro/internal/obs"
 )
 
 func TestMatcherRegistryKnownNames(t *testing.T) {
@@ -64,7 +65,8 @@ func TestRunOnPairFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	outPath := filepath.Join(dir, "out.csv")
-	if err := run("", "", pairPath, outPath, "gpt-4", 5, 1, 1, 0); err != nil {
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	if err := run("", "", pairPath, outPath, "gpt-4", 5, 1, 1, 0, tracePath, false); err != nil {
 		t.Fatal(err)
 	}
 	out, err := os.ReadFile(outPath)
@@ -74,6 +76,28 @@ func TestRunOnPairFile(t *testing.T) {
 	if !strings.Contains(string(out), "golden") {
 		t.Fatalf("output file content:\n%s", out)
 	}
+
+	// -trace must emit a parseable, well-nested JSONL trace with the match
+	// root span and the matcher's stage spans.
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	recs, err := obs.ReadJSONL(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.CheckNesting(recs); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for _, r := range recs {
+		byName[r.Name]++
+	}
+	if byName["match"] != 1 || byName["prompt"] == 0 {
+		t.Fatalf("trace spans = %v, want one match root and prompt stages", byName)
+	}
 }
 
 func TestRunOnRelations(t *testing.T) {
@@ -82,19 +106,19 @@ func TestRunOnRelations(t *testing.T) {
 	right := filepath.Join(dir, "right.csv")
 	os.WriteFile(left, []byte("id,name,city\na1,golden dragon palace,berlin\na2,iron horse tavern,paris\n"), 0o644)
 	os.WriteFile(right, []byte("id,name,city\nb1,GOLDEN dragon palace,berlin\nb2,blue bistro,rome\n"), 0o644)
-	if err := run(left, right, "", "", "stringsim", 5, 1, 1, 0); err != nil {
+	if err := run(left, right, "", "", "stringsim", 5, 1, 1, 0, "", false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRequiresInput(t *testing.T) {
-	if err := run("", "", "", "", "gpt-4", 5, 1, 1, 0); err == nil {
+	if err := run("", "", "", "", "gpt-4", 5, 1, 1, 0, "", false); err == nil {
 		t.Fatal("missing inputs should error")
 	}
 }
 
 func TestRunUnknownMatcher(t *testing.T) {
-	if err := run("", "", "whatever.csv", "", "nope", 5, 1, 1, 0); err == nil {
+	if err := run("", "", "whatever.csv", "", "nope", 5, 1, 1, 0, "", false); err == nil {
 		t.Fatal("unknown matcher should error before touching files")
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/eval"
 	"repro/internal/matchers"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/serve"
 	"repro/internal/stats"
@@ -68,13 +70,21 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "loadgen: print the report as JSON")
 
 		smoke = flag.Bool("smoke", false, "start, self-check /healthz and /match, exit")
+
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in)")
+		tracePath = flag.String("trace", "", "record request/queue/batch/score spans; write JSONL here on shutdown")
 	)
 	flag.Parse()
 
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+	}
 	if err := run(runConfig{
 		addr: *addr, matcher: *matcherName, seed: *seed, parallel: *parallel,
 		loadgen: *loadgen, qps: *qps, duration: *duration, conc: *conc,
 		perReq: *perReq, dataset: *dataset, jsonOut: *jsonOut, smoke: *smoke,
+		pprof: *pprofOn, tracePath: *tracePath,
 		serveCfg: serve.Config{
 			MatcherName:        *matcherName,
 			Workers:            *workers,
@@ -84,6 +94,7 @@ func main() {
 			MaxPairsPerRequest: *maxPairs,
 			DefaultDeadline:    *deadline,
 			CacheCapacity:      *cacheCap,
+			Tracer:             tracer,
 		},
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "emserve:", err)
@@ -106,7 +117,9 @@ type runConfig struct {
 	dataset  string
 	jsonOut  bool
 
-	smoke bool
+	smoke     bool
+	pprof     bool
+	tracePath string
 }
 
 func run(cfg runConfig) error {
@@ -128,7 +141,20 @@ func run(cfg runConfig) error {
 		return runSmoke(srv)
 	}
 
-	hs := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if cfg.pprof {
+		// pprof is opt-in: profiling endpoints on a production port are a
+		// choice, not a default.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	hs := &http.Server{Addr: cfg.addr, Handler: handler}
 	// Graceful shutdown on SIGINT/SIGTERM: stop admitting, drain in-flight
 	// batches, then close the listener.
 	sig := make(chan os.Signal, 1)
@@ -143,6 +169,28 @@ func run(cfg runConfig) error {
 		m.Name(), srv.Semantics(), cfg.addr)
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		return err
+	}
+	// The drain has finished by the time ListenAndServe returns (Shutdown
+	// blocks until the workers exit); Shutdown here is an idempotent no-op
+	// that only covers listener errors racing the signal path.
+	srv.Shutdown()
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr,
+		"emserve: drained: %d requests ok, %d pairs scored, %d from cache, %d expired, $%.4f total cost\n",
+		st.RequestsOK, st.PairsScored, st.PairsCached, st.PairsExpired, st.TotalCostUSD)
+	if tr := srv.Tracer(); tr != nil && cfg.tracePath != "" {
+		f, err := os.Create(cfg.tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "emserve: wrote %d spans to %s\n", tr.Len(), cfg.tracePath)
 	}
 	return nil
 }

@@ -12,8 +12,14 @@
 //	emstudy figure3 [-seeds N]   cost vs quality scatter
 //	emstudy figure4 [-seeds N]   model size vs quality scatter
 //	emstudy findings [-seeds N]  Finding 5 t-test and Finding 6 correlation
+//	emstudy stages               per-stage run report of a traced LODO slice
 //	emstudy verify               dataset disjointness check (§5.1)
 //	emstudy all [-seeds N]       everything above
+//
+// Every evaluating command accepts -trace out.jsonl (record a span trace
+// of the run; inspect with cmd/tracecheck) and -metrics-dump (dump the
+// worker-pool metrics registry as JSON on exit). Both are pure observers:
+// traced runs score bit-identically to untraced ones.
 //
 // Table 3/4 runs fine-tune matchers live; with the paper's five seeds a
 // full table takes tens of minutes on a laptop. Use -seeds 1 for a quick
@@ -42,8 +48,16 @@ import (
 	"repro/internal/cost"
 	"repro/internal/eval"
 	"repro/internal/lm"
+	"repro/internal/matchers"
+	"repro/internal/obs"
 	"repro/internal/record"
+	"repro/internal/report"
 )
+
+// tracer is non-nil when -trace is set; quality runs and the stages
+// command record their spans into it, and main writes the JSONL file on
+// exit. Tracing never changes results (see eval.Config.Tracer).
+var tracer *obs.Tracer
 
 func main() {
 	if len(os.Args) < 2 {
@@ -54,6 +68,8 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	nSeeds := fs.Int("seeds", 5, "number of repetition seeds (the paper uses 5)")
 	parallel := fs.Int("parallel", 0, "evaluation workers: 0 = one per CPU, 1 = sequential (results are identical either way)")
+	tracePath := fs.String("trace", "", "write a JSONL span trace of the evaluation to this file")
+	metricsDump := fs.Bool("metrics-dump", false, "dump the worker-pool metrics registry as JSON to stderr on exit")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -61,11 +77,41 @@ func main() {
 	if *nSeeds < len(seeds) && *nSeeds > 0 {
 		seeds = seeds[:*nSeeds]
 	}
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	if *metricsDump {
+		reg := obs.NewRegistry(obs.Label{Key: "cmd", Value: "emstudy"})
+		eval.EnablePoolMetrics(reg)
+		defer func() {
+			eval.EnablePoolMetrics(nil)
+			_ = reg.WriteJSON(os.Stderr)
+		}()
+	}
 
 	if err := run(cmd, seeds, *parallel, fs.Arg(0)); err != nil {
 		fmt.Fprintln(os.Stderr, "emstudy:", err)
 		os.Exit(1)
 	}
+	if tracer != nil {
+		if err := writeTrace(tracer, *tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "emstudy:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", tracer.Len(), *tracePath)
+	}
+}
+
+func writeTrace(tr *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(cmd string, seeds []uint64, parallel int, arg string) error {
@@ -120,6 +166,8 @@ func run(cmd string, seeds []uint64, parallel int, arg string) error {
 			return err
 		}
 		fmt.Println(core.RenderCascade(results))
+	case "stages":
+		return runStages(seeds, parallel)
 	case "rag":
 		q, err := runQuality(core.Table4RAGSpecs(), seeds, parallel)
 		if err != nil {
@@ -176,6 +224,7 @@ func runTable3(seeds []uint64, parallel int) (*core.QualityResults, error) {
 
 func runQuality(specs []core.MatcherSpec, seeds []uint64, parallel int) (*core.QualityResults, error) {
 	h := core.NewHarnessParallel(seeds, parallel)
+	h.SetTracer(tracer)
 	start := time.Now()
 	q, err := core.RunQuality(h, specs, func(label string) {
 		fmt.Fprintf(os.Stderr, "  [%6.1fs] %s done\n", time.Since(start).Seconds(), label)
@@ -206,6 +255,38 @@ func renderFromTable3(cmd string, q *core.QualityResults) error {
 		f6 := core.Finding6(q)
 		fmt.Println(core.RenderFindings(f5, f6))
 	}
+	return nil
+}
+
+// runStages runs a small LODO slice (StringSim and MatchGPT [GPT-4] on
+// two targets, one seed) under the span tracer and prints the folded
+// per-stage run report: time, pairs, prompt tokens and Table-6 dollars
+// per (matcher, target, stage), plus serialization-cache effectiveness.
+// With -trace the raw spans are written out too.
+func runStages(seeds []uint64, parallel int) error {
+	if len(seeds) > 1 {
+		seeds = seeds[:1] // stage timings are about proportions; one seed suffices
+	}
+	tr := tracer
+	if tr == nil {
+		tr = obs.NewTracer()
+	}
+	h := core.NewHarnessParallel(seeds, parallel)
+	h.SetTracer(tr)
+	factories := []eval.MatcherFactory{
+		func() matchers.Matcher { return matchers.NewStringSim() },
+		func() matchers.Matcher { return matchers.NewMatchGPT(lm.GPT4) },
+	}
+	for _, factory := range factories {
+		for _, target := range []string{"ABT", "AMGO"} {
+			if _, err := h.EvaluateTarget(factory, target); err != nil {
+				return err
+			}
+		}
+	}
+	rep := report.FoldSpans(tr.Records())
+	rep.AddCache(h.SerializationCache().Stats())
+	fmt.Println(rep.Render())
 	return nil
 }
 
@@ -272,5 +353,5 @@ func verify() error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: emstudy <table1|table3|table4|table5|table6|figure3|figure4|findings|ablation|rag|cascade|errors|budget|verify|export|all> [-seeds N] [-parallel N] [dir]`)
+	fmt.Fprintln(os.Stderr, `usage: emstudy <table1|table3|table4|table5|table6|figure3|figure4|findings|ablation|rag|cascade|errors|budget|stages|verify|export|all> [-seeds N] [-parallel N] [-trace out.jsonl] [-metrics-dump] [dir]`)
 }

@@ -1,0 +1,79 @@
+// Command tracecheck validates a JSONL span trace written by emmatch,
+// emstudy or emserve (-trace): it parses every line, checks the trace's
+// structural invariants (unique span IDs, existing parents, exact
+// [start, end) containment of children in parents), and prints a summary
+// of spans by name plus the per-stage fold. Non-zero exit on any
+// violation — the make trace-demo gate.
+//
+// Usage:
+//
+//	tracecheck [-stages] trace.jsonl [more.jsonl ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+func main() {
+	stages := flag.Bool("stages", false, "also print the per-stage run report folded from the trace")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-stages] trace.jsonl [more.jsonl ...]")
+		os.Exit(2)
+	}
+	if err := run(flag.Args(), *stages); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(paths []string, stages bool) error {
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		recs, err := obs.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if len(recs) == 0 {
+			return fmt.Errorf("%s: empty trace", path)
+		}
+		if err := obs.CheckNesting(recs); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+
+		roots := 0
+		byName := map[string]int{}
+		var totalNS int64
+		for _, r := range recs {
+			byName[r.Name]++
+			if r.Parent == 0 {
+				roots++
+				totalNS += r.DurNS
+			}
+		}
+		names := make([]string, 0, len(byName))
+		for n := range byName {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("%s: %d spans ok (%d roots, depth %d, %.1fms root time)\n",
+			path, len(recs), roots, obs.Depth(recs), float64(totalNS)/1e6)
+		for _, n := range names {
+			fmt.Printf("  %-12s %d\n", n, byName[n])
+		}
+		if stages {
+			fmt.Println(report.FoldSpans(recs).Render())
+		}
+	}
+	return nil
+}

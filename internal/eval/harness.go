@@ -1,10 +1,12 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/datasets"
 	"repro/internal/matchers"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/record"
 	"repro/internal/stats"
@@ -37,6 +39,12 @@ type Config struct {
 	// (matcher, target, seed) cell is independently seeded and results
 	// merge back in table order — so this knob trades nothing but heat.
 	Parallelism int
+	// Tracer, when non-nil, records per-cell spans (cell → train /
+	// predict / score, with matcher stage spans under predict) into the
+	// observability layer. Tracing never influences results: all
+	// randomness still derives from the cell's seeded RNG stream, so a
+	// traced run scores bit-identically to an untraced one.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the paper's protocol: five seeds, 1,250-sample
@@ -83,6 +91,10 @@ type Harness struct {
 	// it — held here so the parallel engine's workers and cache-stats
 	// reporting reach the same instance the kernels use.
 	profcache *textsim.ProfileCache
+	// tctx is the tracing context every cell starts its spans under:
+	// context.Background() when tracing is off (the nil fast path of
+	// obs.Start) or an obs.WithTracer context when on.
+	tctx context.Context
 }
 
 // NewHarness generates the benchmark and fixes the test partitions.
@@ -102,6 +114,7 @@ func NewHarness(cfg Config) *Harness {
 		test:      make(map[string][]int),
 		sercache:  record.NewSerializeCache(),
 		profcache: textsim.Shared(),
+		tctx:      obs.WithTracer(context.Background(), cfg.Tracer),
 	}
 	for _, d := range h.all {
 		h.test[d.Name] = sampleTest(d, cfg.MaxTest)
@@ -113,6 +126,16 @@ func NewHarness(cfg Config) *Harness {
 // Config.Parallelism for the knob's semantics). It must not be called
 // concurrently with an evaluation.
 func (h *Harness) SetParallelism(n int) { h.cfg.Parallelism = n }
+
+// SetTracer installs (or, with nil, removes) a span tracer after
+// construction. Must not be called concurrently with an evaluation.
+func (h *Harness) SetTracer(t *obs.Tracer) {
+	h.cfg.Tracer = t
+	h.tctx = obs.WithTracer(context.Background(), t)
+}
+
+// Tracer returns the harness's tracer, or nil when tracing is off.
+func (h *Harness) Tracer() *obs.Tracer { return h.cfg.Tracer }
 
 // Parallelism returns the resolved worker count of the harness.
 func (h *Harness) Parallelism() int { return par.Workers(h.cfg.Parallelism) }
@@ -213,10 +236,19 @@ type cell struct {
 // independent of each other and of execution order.
 func (h *Harness) runCell(factory MatcherFactory, in *targetInputs, seed uint64) cell {
 	m := factory()
+	ctx, span := obs.Start(h.tctx, "cell")
+	span.SetStr("matcher", m.Name())
+	span.SetStr("target", in.d.Name)
+	span.SetInt("seed", int64(seed))
 	rng := stats.NewRNG(seed).Split("run:" + in.d.Name + ":" + m.Name())
+	_, tspan := obs.Start(ctx, "train")
 	m.Train(in.transfer, rng.Split("train"))
+	tspan.End()
+	pctx, pspan := obs.Start(ctx, "predict")
+	pspan.SetInt("pairs", int64(len(in.pairs)))
 	task := matchers.Task{
 		Pairs: in.pairs,
+		Ctx:   pctx,
 		Opts: record.SerializeOptions{
 			ColumnOrder: matchers.ShuffledOrder(in.d.Schema.NumAttrs(), rng.Split("serialize")),
 			Cache:       h.sercache,
@@ -225,7 +257,12 @@ func (h *Harness) runCell(factory MatcherFactory, in *targetInputs, seed uint64)
 		TargetName: in.d.Name,
 	}
 	preds := m.Predict(task)
-	return cell{name: m.Name(), conf: Score(preds, in.labels)}
+	pspan.End()
+	_, sspan := obs.Start(ctx, "score")
+	conf := Score(preds, in.labels)
+	sspan.End()
+	span.End()
+	return cell{name: m.Name(), conf: conf}
 }
 
 // mergeCells folds per-seed cells (in seed order) into a Result.

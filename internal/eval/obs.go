@@ -1,0 +1,25 @@
+package eval
+
+import (
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// EnablePoolMetrics wires the parallel-execution substrate into an
+// observability registry: every par.Do job reports its queue wait (pool
+// entry to job start) and run time into two log2 histograms. Passing a
+// nil registry uninstalls the hooks and restores par's timing-free fast
+// path. The installation is process-wide, matching par's process-wide
+// pool.
+func EnablePoolMetrics(reg *obs.Registry) {
+	if reg == nil {
+		par.SetHooks(nil)
+		return
+	}
+	queueWait := reg.Log2Histogram("par_queue_wait_us", "time from pool entry to job start")
+	jobRun := reg.Log2Histogram("par_job_run_us", "job execution time")
+	par.SetHooks(&par.Hooks{
+		QueueWait: queueWait.ObserveDuration,
+		JobRun:    jobRun.ObserveDuration,
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/boost"
 	"repro/internal/lm"
 	"repro/internal/mlcore"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/stats"
 	"repro/internal/textsim"
@@ -136,11 +137,17 @@ func (m *AnyMatch) Train(transfer []*record.Dataset, rng *stats.RNG) {
 
 // Predict implements Matcher.
 func (m *AnyMatch) Predict(task Task) []bool {
+	st := obs.StartStages(task.Ctx)
 	out := make([]bool, len(task.Pairs))
 	for i, p := range task.Pairs {
+		st.Enter("featurise")
 		x := m.enc.Encode(p, task.Opts)
+		st.Enter("classify")
 		out[i] = m.head.Prob(x) >= 0.5
+		st.Exit()
 	}
+	st.SetInt("classify", "pairs", int64(len(task.Pairs)))
+	st.End()
 	return out
 }
 

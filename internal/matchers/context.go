@@ -26,6 +26,11 @@ type ContextMatcher interface {
 // pure CPU work with no external effects, so discarding is safe — callers
 // bound batch sizes to bound the wasted work).
 func PredictCtx(ctx context.Context, m Matcher, task Task) ([]bool, error) {
+	if task.Ctx == nil {
+		// Thread the caller's context into the task so matchers can
+		// attribute stage timings to it (see Task.Ctx).
+		task.Ctx = ctx
+	}
 	if cm, ok := m.(ContextMatcher); ok {
 		return cm.PredictContext(ctx, task)
 	}

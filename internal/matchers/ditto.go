@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/lm"
 	"repro/internal/mlcore"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/stats"
 )
@@ -96,11 +97,17 @@ func (m *Ditto) Train(transfer []*record.Dataset, rng *stats.RNG) {
 
 // Predict implements Matcher.
 func (m *Ditto) Predict(task Task) []bool {
+	st := obs.StartStages(task.Ctx)
 	out := make([]bool, len(task.Pairs))
 	for i, p := range task.Pairs {
+		st.Enter("featurise")
 		x := m.enc.Encode(m.summarize(p), task.Opts)
+		st.Enter("classify")
 		out[i] = m.head.Prob(x) >= 0.5
+		st.Exit()
 	}
+	st.SetInt("classify", "pairs", int64(len(task.Pairs)))
+	st.End()
 	return out
 }
 

@@ -2,6 +2,7 @@ package matchers
 
 import (
 	"repro/internal/lm"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/stats"
 )
@@ -60,11 +61,18 @@ func (m *Jellyfish) Predict(task Task) []bool {
 		profile.Zero = seenBoost(profile.Zero)
 	}
 	model := lm.NewPromptModel(profile, rng.Split("jellyfish:model"))
+	st := obs.StartStages(task.Ctx)
+	st.Enter("serialize")
 	for _, p := range task.Pairs {
 		model.ObserveCorpus(record.SerializeRecord(p.Left, task.Opts))
 		model.ObserveCorpus(record.SerializeRecord(p.Right, task.Opts))
 	}
-	return model.MatchBatch(task.Pairs, task.Opts)
+	st.Enter("prompt")
+	out := model.MatchBatch(task.Pairs, task.Opts)
+	st.Exit()
+	annotatePromptCost(st, m.profile.Name, task)
+	st.End()
+	return out
 }
 
 // Seen reports whether the target dataset was part of Jellyfish's

@@ -14,6 +14,8 @@
 package matchers
 
 import (
+	"context"
+
 	"repro/internal/record"
 	"repro/internal/stats"
 )
@@ -23,6 +25,11 @@ import (
 type Task struct {
 	// Pairs are the candidate pairs to classify.
 	Pairs []record.Pair
+	// Ctx carries observability state (the obs tracing context of the
+	// caller); a nil Ctx disables stage tracing. Matchers must not derive
+	// any prediction from it — it exists so Predict bodies can attribute
+	// time to their serialize/featurise/prompt/classify stages.
+	Ctx context.Context
 	// Opts controls serialization (column order varies per seed).
 	Opts record.SerializeOptions
 	// Schema is the target schema. Only ZeroER reads it (documented

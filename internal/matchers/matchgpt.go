@@ -3,7 +3,9 @@ package matchers
 import (
 	"fmt"
 
+	"repro/internal/cost"
 	"repro/internal/lm"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/stats"
 	"repro/internal/textsim"
@@ -64,13 +66,38 @@ func (m *MatchGPT) Predict(task Task) []bool {
 	}
 	model := lm.NewPromptModel(m.profile, rng.Split("matchgpt:model"))
 	model.SetDemos(m.demos, m.Strategy)
+	st := obs.StartStages(task.Ctx)
+	st.Enter("serialize")
 	// The engine sees the batch it scores (candidate sets are processed in
 	// batch), which grounds its token-rarity knowledge.
 	for _, p := range task.Pairs {
 		model.ObserveCorpus(record.SerializeRecord(p.Left, task.Opts))
 		model.ObserveCorpus(record.SerializeRecord(p.Right, task.Opts))
 	}
-	return model.MatchBatch(task.Pairs, task.Opts)
+	st.Enter("prompt")
+	out := model.MatchBatch(task.Pairs, task.Opts)
+	st.Exit()
+	annotatePromptCost(st, m.profile.Name, task)
+	st.End()
+	return out
+}
+
+// annotatePromptCost attaches prompt-token and Table-6 dollar attributes
+// to a traced prediction's "prompt" stage. Only runs when tracing is on
+// (a nil Stages skips it), so untraced runs never pay the token count.
+func annotatePromptCost(st *obs.Stages, model string, task Task) {
+	if st == nil {
+		return
+	}
+	var tokens int64
+	for _, p := range task.Pairs {
+		tokens += int64(cost.PairTokens(p, task.Opts))
+	}
+	st.SetInt("prompt", "pairs", int64(len(task.Pairs)))
+	st.SetInt("prompt", "tokens", tokens)
+	if rate, err := cost.ServingRate(model); err == nil {
+		st.SetFloat("prompt", "usd", cost.Dollars(tokens, rate))
+	}
 }
 
 // selectDemos draws demonstrations from the transfer datasets.

@@ -1,6 +1,7 @@
 package matchers
 
 import (
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/stats"
 	"repro/internal/textsim"
@@ -32,17 +33,22 @@ func (m *StringSim) Train(transfer []*record.Dataset, rng *stats.RNG) {}
 
 // Predict implements Matcher.
 func (m *StringSim) Predict(task Task) []bool {
+	st := obs.StartStages(task.Ctx)
 	out := make([]bool, len(task.Pairs))
 	for i, p := range task.Pairs {
+		st.Enter("serialize")
 		left := record.SerializeRecord(p.Left, task.Opts)
 		right := record.SerializeRecord(p.Right, task.Opts)
+		st.Enter("classify")
 		// Length bound first: the ratio can never exceed
 		// 2·min(|l|,|r|)/(|l|+|r|), so very asymmetric pairs skip the
 		// quadratic matching entirely without changing any decision.
-		if textsim.RatcliffUpperBound(left, right) <= m.Threshold {
-			continue
+		if textsim.RatcliffUpperBound(left, right) > m.Threshold {
+			out[i] = textsim.RatcliffObershelp(left, right) > m.Threshold
 		}
-		out[i] = textsim.RatcliffObershelp(left, right) > m.Threshold
+		st.Exit()
 	}
+	st.SetInt("classify", "pairs", int64(len(task.Pairs)))
+	st.End()
 	return out
 }

@@ -3,6 +3,7 @@ package matchers
 import (
 	"repro/internal/lm"
 	"repro/internal/moe"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/stats"
 )
@@ -90,10 +91,16 @@ func (m *Unicorn) Train(transfer []*record.Dataset, rng *stats.RNG) {
 
 // Predict implements Matcher.
 func (m *Unicorn) Predict(task Task) []bool {
+	st := obs.StartStages(task.Ctx)
 	out := make([]bool, len(task.Pairs))
 	for i, p := range task.Pairs {
+		st.Enter("featurise")
 		x := m.enc.Encode(p, task.Opts)
+		st.Enter("classify")
 		out[i] = m.model.Prob(x) >= 0.5
+		st.Exit()
 	}
+	st.SetInt("classify", "pairs", int64(len(task.Pairs)))
+	st.End()
 	return out
 }

@@ -2,6 +2,7 @@ package matchers
 
 import (
 	"repro/internal/gmm"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/stats"
 	"repro/internal/textsim"
@@ -50,6 +51,8 @@ func (m *ZeroER) Predict(task Task) []bool {
 	if len(task.Pairs) == 0 {
 		return nil
 	}
+	st := obs.StartStages(task.Ctx)
+	st.Enter("featurise")
 	vectors := make([][]float64, len(task.Pairs))
 	for i, p := range task.Pairs {
 		vectors[i] = m.similarityVector(p, task.Schema)
@@ -58,11 +61,15 @@ func (m *ZeroER) Predict(task Task) []bool {
 	if rng == nil {
 		rng = stats.NewRNG(1)
 	}
+	st.Enter("classify")
 	mix := gmm.Fit(vectors, m.cfg, rng.Split("zeroer"))
 	out := make([]bool, len(task.Pairs))
 	for i, v := range vectors {
 		out[i] = mix.MatchProb(v) >= 0.5
 	}
+	st.Exit()
+	st.SetInt("classify", "pairs", int64(len(task.Pairs)))
+	st.End()
 	return out
 }
 

@@ -15,7 +15,28 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Hooks observes pool scheduling. The fields are plain funcs so the
+// observability layer can feed pool timings into its own registry without
+// this package importing it.
+type Hooks struct {
+	// QueueWait receives, per job, the time between pool entry (the Do
+	// call) and the job starting on a worker.
+	QueueWait func(time.Duration)
+	// JobRun receives each job's execution time.
+	JobRun func(time.Duration)
+}
+
+// hooks is the process-wide hook installation; nil (the default) keeps
+// Do's fast path timing-free.
+var hooks atomic.Pointer[Hooks]
+
+// SetHooks installs h as the pool's observer (nil uninstalls). Safe to
+// call concurrently with running pools; jobs already started keep the
+// hooks they saw at Do entry.
+func SetHooks(h *Hooks) { hooks.Store(h) }
 
 // Workers resolves a parallelism knob to a concrete worker count: values
 // greater than zero are taken literally, anything else means "one worker
@@ -38,6 +59,21 @@ func Workers(n int) int {
 func Do(n, workers int, job func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if hk := hooks.Load(); hk != nil {
+		inner := job
+		entered := time.Now()
+		job = func(i int) error {
+			started := time.Now()
+			if hk.QueueWait != nil {
+				hk.QueueWait(started.Sub(entered))
+			}
+			err := inner(i)
+			if hk.JobRun != nil {
+				hk.JobRun(time.Since(started))
+			}
+			return err
+		}
 	}
 	w := Workers(workers)
 	if w > n {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/matchers"
+	"repro/internal/obs"
 	"repro/internal/record"
 )
 
@@ -41,11 +42,24 @@ type request struct {
 	res      *MatchResult
 	done     chan struct{}
 	enqueued time.Time
+
+	// span covers the request's whole life (admission through scoring);
+	// qspan is its "queue" child, ended when a worker picks the request
+	// up. Both are nil when tracing is off. After a successful enqueue the
+	// worker owns both (the channel send/receive orders the hand-off) —
+	// Submit must not touch them again, even when it returns early on a
+	// dead context, or an End here could race the worker's and break span
+	// nesting.
+	span, qspan *obs.Span
 }
 
-// finish publishes the request's results to the waiting handler. Called
-// exactly once, by the worker that owns the request.
-func (r *request) finish() { close(r.done) }
+// finish publishes the request's results to the waiting handler and ends
+// the request span. Called exactly once, by the worker that owns the
+// request.
+func (r *request) finish() {
+	r.span.End()
+	close(r.done)
+}
 
 // Submit admits pairs for matching and blocks until every pair is decided
 // or ctx is done. It is the single entry point the HTTP handler, the smoke
@@ -59,6 +73,9 @@ func (s *Server) Submit(ctx context.Context, pairs []record.Pair) (*MatchResult,
 	}
 	s.metrics.requests.Add(1)
 	start := time.Now()
+	span := s.cfg.Tracer.Root("request")
+	span.SetStr("matcher", s.matcher.Name())
+	span.SetInt("pairs", int64(len(pairs)))
 
 	res := &MatchResult{Preds: make([]bool, len(pairs)), Cached: make([]bool, len(pairs))}
 	cacheable := s.semantics != SemRequestBatch && s.cfg.CacheCapacity > 0
@@ -87,9 +104,12 @@ func (s *Server) Submit(ctx context.Context, pairs []record.Pair) (*MatchResult,
 		}
 	}
 	s.metrics.pairsCached.Add(int64(len(pairs) - len(misses)))
+	span.SetInt("cached", int64(len(pairs)-len(misses)))
 	if len(misses) == 0 {
 		s.metrics.requestsOK.Add(1)
 		s.metrics.observeLatency(time.Since(start))
+		span.SetStr("outcome", "cache")
+		span.End()
 		return res, nil
 	}
 
@@ -101,8 +121,15 @@ func (s *Server) Submit(ctx context.Context, pairs []record.Pair) (*MatchResult,
 		res:      res,
 		done:     make(chan struct{}),
 		enqueued: start,
+		span:     span,
+		qspan:    span.Child("queue"),
 	}
 	if err := s.enqueue(req); err != nil {
+		// The request never entered the queue, so Submit still owns its
+		// spans.
+		req.qspan.End()
+		span.SetStr("outcome", "shed")
+		span.End()
 		return nil, err
 	}
 	select {
@@ -112,7 +139,7 @@ func (s *Server) Submit(ctx context.Context, pairs []record.Pair) (*MatchResult,
 		return res, nil
 	case <-ctx.Done():
 		// The request stays queued; its owning worker sees the expired
-		// context and discards it without scoring.
+		// context and discards it without scoring (and ends its spans).
 		s.metrics.deadlineExceeded.Add(1)
 		return nil, ctx.Err()
 	}
@@ -202,8 +229,13 @@ func (s *Server) runBatch(batch []*request) {
 	live := make([]*request, 0, len(batch))
 	npairs := 0
 	for _, r := range batch {
+		// Queue wait ends at pickup, whether or not the request is still
+		// live.
+		s.metrics.queueWait.ObserveSince(r.enqueued)
+		r.qspan.End()
 		if r.ctx != nil && r.ctx.Err() != nil {
 			s.metrics.pairsExpired.Add(int64(len(r.pairs)))
+			r.span.SetStr("outcome", "expired")
 			r.finish()
 			continue
 		}
@@ -214,21 +246,28 @@ func (s *Server) runBatch(batch []*request) {
 		return
 	}
 	s.metrics.observeBatch(npairs)
+	bspan := s.cfg.Tracer.Root("batch")
+	bspan.SetInt("requests", int64(len(live)))
+	bspan.SetInt("pairs", int64(npairs))
+	sspan := bspan.Child("score")
+	sctx := obs.WithSpan(context.Background(), sspan)
 	switch s.semantics {
 	case SemBatchInvariant:
-		s.scoreCoalesced(live, npairs)
+		s.scoreCoalesced(sctx, live, npairs)
 	case SemSinglePair:
-		s.scoreSingles(live)
+		s.scoreSingles(sctx, live)
 	case SemRequestBatch:
-		s.scoreRequests(live)
+		s.scoreRequests(sctx, live)
 	}
+	sspan.End()
+	bspan.End()
 }
 
 // scoreCoalesced feeds every live pair to the matcher as one batch — valid
 // only under batch-invariant semantics, where the grouping provably cannot
 // change any decision — then scatters results back to their requests.
-func (s *Server) scoreCoalesced(live []*request, npairs int) {
-	task := matchers.Task{Pairs: make([]record.Pair, 0, npairs), Opts: s.opts}
+func (s *Server) scoreCoalesced(ctx context.Context, live []*request, npairs int) {
+	task := matchers.Task{Pairs: make([]record.Pair, 0, npairs), Ctx: ctx, Opts: s.opts}
 	for _, r := range live {
 		task.Pairs = append(task.Pairs, r.pairs...)
 	}
@@ -239,6 +278,7 @@ func (s *Server) scoreCoalesced(live []*request, npairs int) {
 			s.deliver(r, j, preds[i])
 			i++
 		}
+		r.span.SetStr("outcome", "ok")
 		r.finish()
 	}
 	s.metrics.pairsScored.Add(int64(npairs))
@@ -248,15 +288,16 @@ func (s *Server) scoreCoalesced(live []*request, npairs int) {
 // online semantics for batch-sensitive prompted matchers. The coalesced
 // batch still amortises queue handoffs; only the matcher invocation is
 // per-pair.
-func (s *Server) scoreSingles(live []*request) {
+func (s *Server) scoreSingles(ctx context.Context, live []*request) {
 	single := make([]record.Pair, 1)
 	for _, r := range live {
 		for j, p := range r.pairs {
 			single[0] = p
-			preds := s.matcher.Predict(matchers.Task{Pairs: single, Opts: s.opts})
+			preds := s.matcher.Predict(matchers.Task{Pairs: single, Ctx: ctx, Opts: s.opts})
 			s.deliver(r, j, preds[0])
 			s.metrics.pairsScored.Add(1)
 		}
+		r.span.SetStr("outcome", "ok")
 		r.finish()
 	}
 }
@@ -264,16 +305,18 @@ func (s *Server) scoreSingles(live []*request) {
 // scoreRequests scores each request as its own batch under the request's
 // own context — ZeroER's mixture sees exactly the batch the client sent,
 // matching offline cmd/emmatch output for the same pairs.
-func (s *Server) scoreRequests(live []*request) {
+func (s *Server) scoreRequests(ctx context.Context, live []*request) {
 	for _, r := range live {
-		preds, err := matchers.PredictCtx(r.ctx, s.matcher, matchers.Task{Pairs: r.pairs, Opts: s.opts})
+		preds, err := matchers.PredictCtx(r.ctx, s.matcher, matchers.Task{Pairs: r.pairs, Ctx: ctx, Opts: s.opts})
 		if err == nil {
 			for j := range r.pairs {
 				s.deliver(r, j, preds[j])
 			}
 			s.metrics.pairsScored.Add(int64(len(r.pairs)))
+			r.span.SetStr("outcome", "ok")
 		} else {
 			s.metrics.pairsExpired.Add(int64(len(r.pairs)))
+			r.span.SetStr("outcome", "expired")
 		}
 		r.finish()
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"net/http"
 	"time"
@@ -48,12 +49,14 @@ type errorResponse struct {
 }
 
 // Handler returns the service's HTTP routes: POST /match, GET /healthz,
-// GET /stats.
+// GET /stats, GET /metrics (Prometheus text), GET /debug/vars (expvar).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/match", s.handleMatch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
 	return mux
 }
 
@@ -90,6 +93,8 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err.Error())
 		return
 	}
+	rspan := s.cfg.Tracer.Root("respond")
+	rspan.SetInt("pairs", int64(len(res.Preds)))
 	writeJSON(w, http.StatusOK, MatchResponse{
 		Matcher:     s.matcher.Name(),
 		Predictions: res.Preds,
@@ -98,6 +103,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		Tokens:      res.Tokens,
 		ElapsedMs:   float64(time.Since(start).Microseconds()) / 1000,
 	})
+	rspan.End()
 }
 
 // toPairs validates the request and converts it to record pairs.

@@ -1,85 +1,63 @@
 package serve
 
 import (
-	"math/bits"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// metrics is the server's lock-free instrumentation: plain atomic counters
-// plus two fixed-bucket histograms (batch sizes and request latency).
-// Everything is written on the hot path with single atomic adds and read
-// only by /stats snapshots, so there is no aggregation lock anywhere.
+// metrics holds the server's instrumentation handles, all registered in
+// one obs.Registry carrying the matcher name as a constant label. The
+// hot-path recording characteristics are unchanged from the package's
+// original hand-rolled counters — single atomic adds, no aggregation
+// locks — but the registry buys Prometheus/JSON/expvar exposition and
+// interpolated histogram quantiles for free.
 type metrics struct {
-	requests         atomic.Int64 // admitted /match requests
-	requestsOK       atomic.Int64 // requests answered with predictions
-	shedQueueFull    atomic.Int64 // rejected: admission queue full (429)
-	shedDraining     atomic.Int64 // rejected: draining (503)
-	deadlineExceeded atomic.Int64 // failed: deadline expired waiting (503)
+	requests         *obs.Counter // admitted /match requests
+	requestsOK       *obs.Counter // requests answered with predictions
+	shedQueueFull    *obs.Counter // rejected: admission queue full (429)
+	shedDraining     *obs.Counter // rejected: draining (503)
+	deadlineExceeded *obs.Counter // failed: deadline expired waiting (503)
 
-	pairsScored  atomic.Int64 // pairs the matcher actually scored
-	pairsCached  atomic.Int64 // pairs answered from the prediction cache
-	pairsExpired atomic.Int64 // queued pairs discarded past their deadline
+	pairsScored  *obs.Counter // pairs the matcher actually scored
+	pairsCached  *obs.Counter // pairs answered from the prediction cache
+	pairsExpired *obs.Counter // queued pairs discarded past their deadline
 
-	scoredTokens atomic.Int64 // priced input tokens across scored pairs
+	scoredTokens *obs.Counter // priced input tokens across scored pairs
 
-	// batchSizes[k] counts micro-batches of exactly k pairs (k clamped to
-	// the configured maximum).
-	batchSizes []atomic.Int64
-
-	// latency is a log2 histogram of request latency in microseconds:
-	// bucket k counts requests with latency in [2^(k-1), 2^k) µs. 40
-	// buckets span sub-microsecond to ~6 days.
-	latency [40]atomic.Int64
+	// batchSizes counts micro-batches by exact pair count (linear
+	// unit-width buckets, clamped to the configured maximum).
+	batchSizes *obs.Histogram
+	// latency is request latency in microseconds (log2 buckets).
+	latency *obs.Histogram
+	// queueWait is the time admitted requests spent queued before a
+	// worker picked them up, in microseconds (log2 buckets).
+	queueWait *obs.Histogram
 }
 
-func (m *metrics) init(maxBatch int) {
-	m.batchSizes = make([]atomic.Int64, maxBatch+1)
+func (m *metrics) init(reg *obs.Registry, maxBatch int) {
+	m.requests = reg.Counter("emserve_requests_total", "admitted /match requests")
+	m.requestsOK = reg.Counter("emserve_requests_ok_total", "requests answered with predictions")
+	m.shedQueueFull = reg.Counter("emserve_shed_queue_full_total", "requests rejected with 429: admission queue full")
+	m.shedDraining = reg.Counter("emserve_shed_draining_total", "requests rejected with 503: server draining")
+	m.deadlineExceeded = reg.Counter("emserve_deadline_exceeded_total", "requests failed with 503: deadline expired while queued")
+	m.pairsScored = reg.Counter("emserve_pairs_scored_total", "pairs scored by the matcher")
+	m.pairsCached = reg.Counter("emserve_pairs_cached_total", "pairs answered from the prediction cache")
+	m.pairsExpired = reg.Counter("emserve_pairs_expired_total", "queued pairs discarded past their deadline")
+	m.scoredTokens = reg.Counter("emserve_tokens_total", "priced input tokens across scored pairs")
+	m.batchSizes = reg.LinearHistogram("emserve_batch_pairs", "micro-batch sizes in pairs", maxBatch)
+	m.latency = reg.Log2Histogram("emserve_latency_us", "request latency in microseconds")
+	m.queueWait = reg.Log2Histogram("emserve_queue_wait_us", "queue wait before a worker pickup, in microseconds")
 }
 
-func (m *metrics) observeBatch(n int) {
-	if n >= len(m.batchSizes) {
-		n = len(m.batchSizes) - 1
-	}
-	m.batchSizes[n].Add(1)
-}
+func (m *metrics) observeBatch(n int) { m.batchSizes.Observe(int64(n)) }
 
-func (m *metrics) observeLatency(d time.Duration) {
-	us := uint64(d.Microseconds())
-	k := bits.Len64(us) // 0 for <1µs
-	if k >= len(m.latency) {
-		k = len(m.latency) - 1
-	}
-	m.latency[k].Add(1)
-}
-
-// latencyQuantile returns the upper bound (in microseconds) of the bucket
-// containing quantile q, or 0 with no observations. Log2 buckets bound the
-// relative error at 2x — coarse, but allocation-free and exact enough for
-// p50/p95/p99 load reporting.
-func (m *metrics) latencyQuantile(q float64) float64 {
-	var total int64
-	for i := range m.latency {
-		total += m.latency[i].Load()
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := int64(q*float64(total-1)) + 1
-	var seen int64
-	for i := range m.latency {
-		seen += m.latency[i].Load()
-		if seen >= rank {
-			return float64(uint64(1) << i)
-		}
-	}
-	return float64(uint64(1) << (len(m.latency) - 1))
-}
+func (m *metrics) observeLatency(d time.Duration) { m.latency.ObserveDuration(d) }
 
 // Stats is the /stats snapshot.
 type Stats struct {
-	Matcher   string `json:"matcher"`
-	Semantics string `json:"semantics"`
+	Matcher   string  `json:"matcher"`
+	Semantics string  `json:"semantics"`
 	UptimeSec float64 `json:"uptime_sec"`
 
 	Requests         int64 `json:"requests"`
@@ -99,15 +77,24 @@ type Stats struct {
 	// BatchSizes maps micro-batch size (as a 1-based index into the
 	// slice) to how many batches of that size ran; index 0 is unused.
 	BatchSizes []int64 `json:"batch_sizes"`
+	// Batch size quantiles — exact, the linear buckets hold one size each.
+	BatchP50 float64 `json:"batch_p50"`
+	BatchP95 float64 `json:"batch_p95"`
+	BatchP99 float64 `json:"batch_p99"`
 
 	CacheLen     int     `json:"cache_len"`
 	CacheHits    int64   `json:"cache_hits"`
 	CacheMisses  int64   `json:"cache_misses"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 
-	LatencyP50Us float64 `json:"latency_p50_us"`
-	LatencyP95Us float64 `json:"latency_p95_us"`
-	LatencyP99Us float64 `json:"latency_p99_us"`
+	// Latency and queue-wait quantiles in microseconds, interpolated
+	// within the log2 buckets (see obs.Histogram.Quantile).
+	LatencyP50Us   float64 `json:"latency_p50_us"`
+	LatencyP95Us   float64 `json:"latency_p95_us"`
+	LatencyP99Us   float64 `json:"latency_p99_us"`
+	QueueWaitP50Us float64 `json:"queue_wait_p50_us"`
+	QueueWaitP95Us float64 `json:"queue_wait_p95_us"`
+	QueueWaitP99Us float64 `json:"queue_wait_p99_us"`
 
 	PricingModel string  `json:"pricing_model,omitempty"`
 	RatePer1K    float64 `json:"rate_per_1k_tokens,omitempty"`
@@ -133,27 +120,24 @@ func (s *Server) Stats() Stats {
 		QueueDepth:       s.QueueDepth(),
 		Workers:          s.cfg.Workers,
 		MaxBatch:         s.cfg.MaxBatch,
+		MeanBatch:        m.batchSizes.Mean(),
+		BatchSizes:       m.batchSizes.BucketCounts(),
+		BatchP50:         m.batchSizes.Quantile(0.50),
+		BatchP95:         m.batchSizes.Quantile(0.95),
+		BatchP99:         m.batchSizes.Quantile(0.99),
 		CacheLen:         s.cache.Len(),
-		LatencyP50Us:     m.latencyQuantile(0.50),
-		LatencyP95Us:     m.latencyQuantile(0.95),
-		LatencyP99Us:     m.latencyQuantile(0.99),
+		LatencyP50Us:     m.latency.Quantile(0.50),
+		LatencyP95Us:     m.latency.Quantile(0.95),
+		LatencyP99Us:     m.latency.Quantile(0.99),
+		QueueWaitP50Us:   m.queueWait.Quantile(0.50),
+		QueueWaitP95Us:   m.queueWait.Quantile(0.95),
+		QueueWaitP99Us:   m.queueWait.Quantile(0.99),
 		PricingModel:     s.pricingModel,
 		RatePer1K:        s.pricingRate,
 		ScoredTokens:     m.scoredTokens.Load(),
 	}
 	st.CacheHits, st.CacheMisses = s.cache.Stats()
 	st.CacheHitRate = s.cache.HitRate()
-	st.BatchSizes = make([]int64, len(m.batchSizes))
-	var batches, pairs int64
-	for i := range m.batchSizes {
-		c := m.batchSizes[i].Load()
-		st.BatchSizes[i] = c
-		batches += c
-		pairs += c * int64(i)
-	}
-	if batches > 0 {
-		st.MeanBatch = float64(pairs) / float64(batches)
-	}
 	if s.pricingRate != 0 {
 		st.TotalCostUSD = float64(st.ScoredTokens) / 1000 * s.pricingRate
 	}

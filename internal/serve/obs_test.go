@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/record"
+)
+
+func TestMetricsEndpointPrometheusText(t *testing.T) {
+	srv, err := New(trained(t, "stringsim"), Config{
+		MatcherName: "stringsim", Workers: 2, CacheCapacity: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	pairs := benchmarkPairs(t, "ABT", 8)
+	if _, err := srv.Submit(context.Background(), pairs); err != nil {
+		t.Fatal(err)
+	}
+	// Same pairs again: hits the prediction cache.
+	if _, err := srv.Submit(context.Background(), pairs); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`emserve_requests_total{matcher="StringSim"} 2`,
+		`emserve_shed_queue_full_total{matcher="StringSim"} 0`,
+		`emserve_pairs_scored_total{matcher="StringSim"} 8`,
+		`emserve_pairs_cached_total{matcher="StringSim"} 8`,
+		`emserve_cache_hits_total{matcher="StringSim"} 8`,
+		`emserve_tokens_total{matcher="StringSim"} 0`,
+		`emserve_cost_usd_total{matcher="StringSim"} 0`,
+		`# TYPE emserve_batch_pairs histogram`,
+		`# TYPE emserve_latency_us histogram`,
+		`emserve_queue_depth{matcher="StringSim"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	// /debug/vars carries the same registry under the "emserve" key.
+	resp, err = ts.Client().Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(vars), `"emserve"`) || !strings.Contains(string(vars), `emserve_requests_total`) {
+		t.Fatalf("/debug/vars missing emserve registry:\n%.500s", vars)
+	}
+}
+
+func TestTracedServingBitIdenticalAndNested(t *testing.T) {
+	pairs := benchmarkPairs(t, "ABT", 12)
+
+	plain, err := New(trained(t, "stringsim"), Config{MatcherName: "stringsim", Workers: 2, CacheCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := plain.Submit(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Shutdown()
+
+	tr := obs.NewTracer()
+	traced, err := New(trained(t, "stringsim"), Config{
+		MatcherName: "stringsim", Workers: 2, CacheCapacity: 64, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := traced.Submit(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced.Shutdown()
+
+	if !reflect.DeepEqual(base.Preds, got.Preds) {
+		t.Fatalf("traced serving diverged:\n%v\n%v", base.Preds, got.Preds)
+	}
+
+	recs := tr.Records()
+	if err := obs.CheckNesting(recs); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	parents := map[uint64]obs.SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name]++
+		parents[r.ID] = r
+	}
+	for _, name := range []string{"request", "queue", "batch", "score"} {
+		if byName[name] == 0 {
+			t.Fatalf("no %q span recorded (got %v)", name, byName)
+		}
+	}
+	for _, r := range recs {
+		switch r.Name {
+		case "queue":
+			if parents[r.Parent].Name != "request" {
+				t.Fatalf("queue span parented under %q", parents[r.Parent].Name)
+			}
+		case "score":
+			if parents[r.Parent].Name != "batch" {
+				t.Fatalf("score span parented under %q", parents[r.Parent].Name)
+			}
+		case "request":
+			if r.Str("outcome") != "ok" {
+				t.Fatalf("request outcome = %q", r.Str("outcome"))
+			}
+		}
+	}
+	// StringSim's stage spans land under score.
+	if byName["serialize"] == 0 || byName["classify"] == 0 {
+		t.Fatalf("matcher stage spans missing under score: %v", byName)
+	}
+}
+
+func TestShedRequestSpanOutcome(t *testing.T) {
+	tr := obs.NewTracer()
+	srv, err := New(trained(t, "stringsim"), Config{MatcherName: "stringsim", Workers: 1, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Shutdown()
+	if _, err := srv.Submit(context.Background(), []record.Pair{
+		{Left: record.Record{Values: []string{"a"}}, Right: record.Record{Values: []string{"a"}}},
+	}); err == nil {
+		t.Fatal("draining server must reject")
+	}
+	var found bool
+	for _, r := range tr.Records() {
+		if r.Name == "request" && r.Str("outcome") == "shed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no shed request span: %+v", tr.Records())
+	}
+	if err := obs.CheckNesting(tr.Records()); err != nil {
+		t.Fatal(err)
+	}
+}

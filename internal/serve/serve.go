@@ -59,6 +59,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/matchers"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/record"
 	"repro/internal/textsim"
@@ -144,6 +145,11 @@ type Config struct {
 	// caching. CacheShards is the shard count (defaults to 16).
 	CacheCapacity int
 	CacheShards   int
+
+	// Tracer, when non-nil, records request/queue/batch/score spans for
+	// every admitted request. Tracing never changes predictions; it only
+	// observes.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -185,6 +191,7 @@ type Server struct {
 	draining bool
 	workers  sync.WaitGroup
 
+	reg     *obs.Registry
 	metrics metrics
 	started time.Time
 }
@@ -225,7 +232,29 @@ func New(m matchers.Matcher, cfg Config) (*Server, error) {
 		}
 		s.pricingModel, s.pricingRate = model, rate
 	}
-	s.metrics.init(cfg.MaxBatch)
+	s.reg = obs.NewRegistry(obs.Label{Key: "matcher", Value: m.Name()})
+	s.metrics.init(s.reg, cfg.MaxBatch)
+	// Read-at-exposition metrics: queue depth and cache effectiveness come
+	// straight from their owners, priced dollars derive from the token
+	// counter so the exposed value can never drift from /stats.
+	s.reg.GaugeFunc("emserve_queue_depth", "requests waiting for a worker", func() float64 {
+		return float64(s.QueueDepth())
+	})
+	s.reg.GaugeFunc("emserve_cache_len", "prediction-cache entries", func() float64 {
+		return float64(s.cache.Len())
+	})
+	s.reg.CounterFunc("emserve_cache_hits_total", "prediction-cache hits", func() float64 {
+		hits, _ := s.cache.Stats()
+		return float64(hits)
+	})
+	s.reg.CounterFunc("emserve_cache_misses_total", "prediction-cache misses", func() float64 {
+		_, misses := s.cache.Stats()
+		return float64(misses)
+	})
+	s.reg.CounterFunc("emserve_cost_usd_total", "Table-6 dollars across scored pairs", func() float64 {
+		return cost.Dollars(s.metrics.scoredTokens.Load(), s.pricingRate)
+	})
+	obs.PublishExpvar("emserve", s.reg)
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -241,6 +270,13 @@ func (s *Server) Semantics() Semantics { return s.semantics }
 
 // Cache returns the prediction cache (for tests and the load generator).
 func (s *Server) Cache() *PredCache { return s.cache }
+
+// Registry returns the server's metrics registry — the backing store of
+// /metrics, /debug/vars and /stats.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Tracer returns the span tracer configured at construction, or nil.
+func (s *Server) Tracer() *obs.Tracer { return s.cfg.Tracer }
 
 // Shutdown drains the admission queue and in-flight batches, then stops
 // the worker pool. New requests are rejected with 503 the moment it is
