@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json bench-json-serve bench-json-obs verify-parallel vet serve-smoke loadgen-report trace-demo
+.PHONY: build test bench bench-json bench-json-serve bench-json-obs bench-json-snap verify-parallel vet serve-smoke loadgen-report trace-demo snap-verify
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,27 @@ bench-json-obs:
 		-benchtime=1s -benchmem . ./internal/obs | $(GO) run ./cmd/benchjson > BENCH_pr4.json
 	@cat BENCH_pr4.json
 
+# Checkpoint benchmarks: cold-train versus warm-restore per matcher class,
+# plus raw codec encode/decode throughput, recorded as JSON for regression
+# tracking (see EXPERIMENTS.md "Checkpointing & warm start").
+bench-json-snap:
+	$(GO) test -run '^$$' -bench 'SnapTrainCold|SnapRestoreWarm|SnapEncode|SnapDecode' \
+		-benchtime=1s -benchmem ./internal/snap | $(GO) run ./cmd/benchjson > BENCH_pr5.json
+	@cat BENCH_pr5.json
+
+# Snapshot-store gate: round-trip bit-identity for every registry
+# configuration, codec/store/journal unit tests, then an end-to-end
+# emsnap train + verify against a throwaway store.
+snap-verify:
+	$(GO) test ./internal/snap/... -run .
+	$(GO) test ./internal/matchers/ -run 'TestSnapshot|TestConfigOf'
+	$(GO) test ./internal/eval/ -run 'TestJournal|TestUnlabeled'
+	rm -rf /tmp/emsnap-verify-store
+	$(GO) run ./cmd/emsnap train -store /tmp/emsnap-verify-store -matcher stringsim
+	$(GO) run ./cmd/emsnap train -store /tmp/emsnap-verify-store -matcher gpt-4
+	$(GO) run ./cmd/emsnap verify -store /tmp/emsnap-verify-store
+	rm -rf /tmp/emsnap-verify-store
+
 # Determinism/concurrency gate for the parallel evaluation engine and the
 # shared caches under it: vet the whole module, then race-test the engine
 # (internal/eval), its scheduling substrate (internal/par), the shared
@@ -45,9 +66,11 @@ bench-json-obs:
 # value/normalization caches (internal/lm), the study runner that
 # dispatches on all of it (internal/core), and the online serving pipeline
 # (internal/serve: micro-batching dispatcher, sharded LRU prediction
-# cache, admission control).
-verify-parallel: vet
-	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/record/... ./internal/textsim/... ./internal/lm/... ./internal/eval/... ./internal/core/... ./internal/serve/...
+# cache, admission control), and the snapshot store's concurrent writers
+# (internal/snap). Folds in the snap-verify gate so the checkpoint
+# subsystem is exercised end to end on every verification run.
+verify-parallel: vet snap-verify
+	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/record/... ./internal/textsim/... ./internal/lm/... ./internal/eval/... ./internal/core/... ./internal/serve/... ./internal/snap/...
 
 # Smoke-test the serving binary: start emserve, hit /healthz and /match,
 # assert a 200 on both (emserve -smoke exits non-zero otherwise).

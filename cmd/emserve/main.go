@@ -9,6 +9,7 @@
 //
 //	emserve -matcher stringsim -addr :8080
 //	emserve -matcher gpt-4 -deadline 250ms -queue 2048
+//	emserve -matcher ditto -store /var/lib/emserve/snapshots
 //	emserve -matcher stringsim -loadgen -qps 0 -duration 5s
 //	emserve -matcher stringsim -smoke
 //
@@ -27,6 +28,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -44,6 +46,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/serve"
+	"repro/internal/snap"
 	"repro/internal/stats"
 )
 
@@ -60,6 +63,7 @@ func main() {
 		cacheCap    = flag.Int("cache", 1<<16, "prediction cache capacity in entries (0 disables)")
 		seed        = flag.Uint64("seed", 1, "random seed for matcher training")
 		parallel    = flag.Int("parallel", 0, "workers for transfer-library generation: 0 = one per CPU")
+		storeDir    = flag.String("store", "", "snapshot store directory: restore the trained matcher on startup (warm start), train-then-save on miss")
 
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		qps      = flag.Float64("qps", 0, "loadgen target request rate (0 = closed-loop maximum)")
@@ -82,6 +86,7 @@ func main() {
 	}
 	if err := run(runConfig{
 		addr: *addr, matcher: *matcherName, seed: *seed, parallel: *parallel,
+		store:   *storeDir,
 		loadgen: *loadgen, qps: *qps, duration: *duration, conc: *conc,
 		perReq: *perReq, dataset: *dataset, jsonOut: *jsonOut, smoke: *smoke,
 		pprof: *pprofOn, tracePath: *tracePath,
@@ -107,6 +112,7 @@ type runConfig struct {
 	matcher  string
 	seed     uint64
 	parallel int
+	store    string
 	serveCfg serve.Config
 
 	loadgen  bool
@@ -123,7 +129,7 @@ type runConfig struct {
 }
 
 func run(cfg runConfig) error {
-	m, err := loadMatcher(cfg.matcher, cfg.seed, cfg.parallel)
+	m, startup, reg, err := loadMatcher(cfg.matcher, cfg.seed, cfg.parallel, cfg.store)
 	if err != nil {
 		return err
 	}
@@ -132,6 +138,8 @@ func run(cfg runConfig) error {
 		return runLoadGen(m, cfg)
 	}
 
+	cfg.serveCfg.Registry = reg
+	cfg.serveCfg.Startup = startup
 	srv, err := serve.New(m, cfg.serveCfg)
 	if err != nil {
 		return err
@@ -195,23 +203,80 @@ func run(cfg runConfig) error {
 	return nil
 }
 
-// loadMatcher builds and, when needed, trains the matcher — the same
-// startup path as cmd/emmatch.
-func loadMatcher(name string, seed uint64, parallel int) (matchers.Matcher, error) {
+// loadMatcher readies the matcher for serving. Without a store this is
+// the same startup path as cmd/emmatch: build, then train (fine-tuned
+// matchers on the built-in transfer library). With -store, the trained
+// state is restored from the snapshot store when an artifact exists for
+// (matcher, config, transfer data, seed) — a warm start that skips
+// training entirely and predicts bit-identically to a cold one — and a
+// miss trains as usual, then saves the snapshot so the next start is
+// warm. The returned registry (non-nil only with a store) carries the
+// store's hit/miss/latency metrics plus the startup gauges, and is
+// installed into the server so everything lands on one /metrics page.
+func loadMatcher(name string, seed uint64, parallel int, storeDir string) (matchers.Matcher, *serve.StartupInfo, *obs.Registry, error) {
 	m, needsTraining, err := matchers.ByName(name)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
+	}
+	info := &serve.StartupInfo{}
+	var (
+		reg *obs.Registry
+		st  *snap.Store
+		key snap.Key
+	)
+	snapper, canSnap := m.(snap.Snapshotter)
+	if storeDir != "" && canSnap {
+		reg = obs.NewRegistry(obs.Label{Key: "matcher", Value: m.Name()})
+		if st, err = snap.Open(storeDir, reg); err != nil {
+			return nil, nil, nil, err
+		}
 	}
 	rng := stats.NewRNG(seed)
+	var library []*record.Dataset
+	if needsTraining {
+		library = datasets.GenerateAllParallel(eval.DatasetSeed, parallel)
+	}
+	if st != nil {
+		key = snap.Key{
+			Matcher: name,
+			Config:  matchers.ConfigOf(m),
+			Data:    record.DatasetFingerprints(library),
+			Seed:    seed,
+		}
+		start := time.Now()
+		if _, err := st.Load(key, snapper); err == nil {
+			info.Warm = true
+			info.RestoreSeconds = time.Since(start).Seconds()
+			info.SnapshotHash = key.Hash()
+			fmt.Fprintf(os.Stderr, "emserve: warm start: restored %s from snapshot %.12s in %.3fs\n",
+				m.Name(), info.SnapshotHash, info.RestoreSeconds)
+			return m, info, reg, nil
+		} else if !errors.Is(err, snap.ErrNotFound) {
+			fmt.Fprintf(os.Stderr, "emserve: snapshot load failed (%v); training from scratch\n", err)
+		}
+	}
+	start := time.Now()
 	if needsTraining {
 		fmt.Fprintf(os.Stderr, "emserve: training %s on the built-in transfer library...\n", m.Name())
-		start := time.Now()
-		m.Train(datasets.GenerateAllParallel(eval.DatasetSeed, parallel), rng.Split("train"))
+		m.Train(library, rng.Split("train"))
 		fmt.Fprintf(os.Stderr, "emserve: trained in %.1fs\n", time.Since(start).Seconds())
 	} else {
 		m.Train(nil, rng.Split("train"))
 	}
-	return m, nil
+	info.TrainSeconds = time.Since(start).Seconds()
+	if st != nil {
+		hash, err := st.Save(key, m.Name(), snapper)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("saving snapshot: %w", err)
+		}
+		if err := st.SetRef("emserve-"+name, hash); err != nil {
+			return nil, nil, nil, err
+		}
+		info.SnapshotHash = hash
+		fmt.Fprintf(os.Stderr, "emserve: cold start: trained in %.3fs, saved snapshot %.12s (next start is warm)\n",
+			info.TrainSeconds, hash)
+	}
+	return m, info, reg, nil
 }
 
 // runLoadGen replays one benchmark dataset's pairs through the serving

@@ -1,0 +1,243 @@
+// Command emsnap inspects and maintains a matcher snapshot store (see
+// internal/snap): the content-addressed checkpoint directory emserve
+// warm-starts from.
+//
+// Usage:
+//
+//	emsnap ls     -store dir              list artifacts and refs
+//	emsnap info   -store dir <hash|ref>   show one artifact's identity
+//	emsnap verify -store dir              check framing + checksums of every artifact
+//	emsnap gc     -store dir [-dry-run]   remove unreferenced artifacts
+//	emsnap train  -store dir -matcher m [-seed N] [-parallel N] [-ref name]
+//	                                      train a matcher and file its snapshot
+//
+// verify and gc exit non-zero when they find corrupt artifacts (verify)
+// or fail (gc), so both gate cleanly in CI; `make snap-verify` builds a
+// demo store with train and runs verify over it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/eval"
+	"repro/internal/matchers"
+	"repro/internal/record"
+	"repro/internal/snap"
+	"repro/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	storeDir := fs.String("store", "", "snapshot store directory (required)")
+	dryRun := fs.Bool("dry-run", false, "gc: report what would be removed without removing")
+	matcherName := fs.String("matcher", "stringsim", "train: matcher to train and snapshot: "+strings.Join(matchers.Names(), ", "))
+	seed := fs.Uint64("seed", 1, "train: training seed")
+	parallel := fs.Int("parallel", 0, "train: workers for transfer-library generation: 0 = one per CPU")
+	refName := fs.String("ref", "", "train: ref name to point at the snapshot (default emsnap-<matcher>)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "emsnap: -store is required")
+		usage()
+		os.Exit(2)
+	}
+	st, err := snap.Open(*storeDir, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emsnap:", err)
+		os.Exit(1)
+	}
+	if err := run(st, cmd, fs.Arg(0), opts{
+		dryRun: *dryRun, matcher: *matcherName, seed: *seed, parallel: *parallel, ref: *refName,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "emsnap:", err)
+		os.Exit(1)
+	}
+}
+
+type opts struct {
+	dryRun   bool
+	matcher  string
+	seed     uint64
+	parallel int
+	ref      string
+}
+
+func run(st *snap.Store, cmd, arg string, o opts) error {
+	switch cmd {
+	case "ls":
+		return ls(st)
+	case "info":
+		if arg == "" {
+			return fmt.Errorf("info needs a hash or ref name")
+		}
+		return info(st, arg)
+	case "verify":
+		return verify(st)
+	case "gc":
+		return gc(st, o.dryRun)
+	case "train":
+		return train(st, o)
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func ls(st *snap.Store) error {
+	infos, err := st.List()
+	if err != nil {
+		return err
+	}
+	for _, in := range infos {
+		if in.MetaErr != nil {
+			fmt.Printf("%.12s  %8d B  <corrupt: %v>\n", in.Hash, in.Bytes, in.MetaErr)
+			continue
+		}
+		fmt.Printf("%.12s  %8d B  %-24s %s\n",
+			in.Hash, in.Bytes, in.Meta.Matcher, time.Unix(in.Meta.CreatedUnix, 0).UTC().Format(time.RFC3339))
+	}
+	refs, err := st.Refs()
+	if err != nil {
+		return err
+	}
+	for _, r := range refs {
+		fmt.Printf("ref %-24s -> %.12s\n", r.Name, r.Hash)
+	}
+	fmt.Printf("%d artifacts, %d refs\n", len(infos), len(refs))
+	return nil
+}
+
+// resolve turns an argument into an artifact hash: a ref name if one
+// exists, else a hash prefix matched against the artifact list.
+func resolve(st *snap.Store, arg string) (string, error) {
+	if hash, err := st.Ref(arg); err == nil {
+		return hash, nil
+	}
+	infos, err := st.List()
+	if err != nil {
+		return "", err
+	}
+	var match string
+	for _, in := range infos {
+		if strings.HasPrefix(in.Hash, arg) {
+			if match != "" {
+				return "", fmt.Errorf("ambiguous prefix %q", arg)
+			}
+			match = in.Hash
+		}
+	}
+	if match == "" {
+		return "", fmt.Errorf("no artifact or ref matches %q", arg)
+	}
+	return match, nil
+}
+
+func info(st *snap.Store, arg string) error {
+	hash, err := resolve(st, arg)
+	if err != nil {
+		return err
+	}
+	meta, err := st.Meta(hash)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hash:    %s\nmatcher: %s\nconfig:  %s\ncreated: %s\n",
+		hash, meta.Matcher, meta.Config, time.Unix(meta.CreatedUnix, 0).UTC().Format(time.RFC3339))
+	return nil
+}
+
+func verify(st *snap.Store) error {
+	results, err := st.VerifyAll()
+	if err != nil {
+		return err
+	}
+	bad := 0
+	for _, r := range results {
+		if r.Err != nil {
+			bad++
+			fmt.Printf("FAIL %.12s  %v\n", r.Hash, r.Err)
+		} else {
+			fmt.Printf("ok   %.12s  %s (%d B)\n", r.Hash, r.Meta.Matcher, r.Bytes)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d artifacts corrupt", bad, len(results))
+	}
+	fmt.Printf("verified %d artifacts, all sound\n", len(results))
+	return nil
+}
+
+func gc(st *snap.Store, dryRun bool) error {
+	removed, err := st.GC(dryRun)
+	if err != nil {
+		return err
+	}
+	verb := "removed"
+	if dryRun {
+		verb = "would remove"
+	}
+	for _, h := range removed {
+		fmt.Printf("%s %.12s\n", verb, h)
+	}
+	fmt.Printf("%s %d unreferenced artifacts\n", verb, len(removed))
+	return nil
+}
+
+// train builds and trains a matcher exactly like emserve's cold path and
+// files its snapshot under the same content address emserve would
+// compute, so a store primed with emsnap train warm-starts emserve.
+func train(st *snap.Store, o opts) error {
+	m, needsTraining, err := matchers.ByName(o.matcher)
+	if err != nil {
+		return err
+	}
+	snapper, ok := m.(snap.Snapshotter)
+	if !ok {
+		return fmt.Errorf("matcher %s is not snapshottable", m.Name())
+	}
+	rng := stats.NewRNG(o.seed)
+	var library []*record.Dataset
+	start := time.Now()
+	if needsTraining {
+		library = datasets.GenerateAllParallel(eval.DatasetSeed, o.parallel)
+		fmt.Fprintf(os.Stderr, "emsnap: training %s on the built-in transfer library...\n", m.Name())
+		m.Train(library, rng.Split("train"))
+	} else {
+		m.Train(nil, rng.Split("train"))
+	}
+	trained := time.Since(start).Seconds()
+	key := snap.Key{
+		Matcher: o.matcher,
+		Config:  matchers.ConfigOf(m),
+		Data:    record.DatasetFingerprints(library),
+		Seed:    o.seed,
+	}
+	hash, err := st.Save(key, m.Name(), snapper)
+	if err != nil {
+		return err
+	}
+	ref := o.ref
+	if ref == "" {
+		ref = "emsnap-" + o.matcher
+	}
+	if err := st.SetRef(ref, hash); err != nil {
+		return err
+	}
+	fmt.Printf("trained %s in %.3fs, snapshot %.12s (ref %s)\n", m.Name(), trained, hash, ref)
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: emsnap <ls|info|verify|gc|train> -store dir [-dry-run] [-matcher m] [-seed N] [-parallel N] [-ref name] [hash|ref]`)
+}

@@ -21,6 +21,12 @@
 // worker-pool metrics registry as JSON on exit). Both are pure observers:
 // traced runs score bit-identically to untraced ones.
 //
+// Quality-table commands also accept -journal run.journal (record every
+// completed (matcher, target, seed) cell) and -resume (replay completed
+// cells from the journal and run only the rest). Kill a long table3 run
+// halfway, rerun with -resume, and the output is bit-identical to an
+// uninterrupted run.
+//
 // Table 3/4 runs fine-tune matchers live; with the paper's five seeds a
 // full table takes tens of minutes on a laptop. Use -seeds 1 for a quick
 // look.
@@ -52,12 +58,27 @@ import (
 	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/report"
+	"repro/internal/snap"
 )
 
 // tracer is non-nil when -trace is set; quality runs and the stages
 // command record their spans into it, and main writes the JSONL file on
 // exit. Tracing never changes results (see eval.Config.Tracer).
 var tracer *obs.Tracer
+
+// Run-journal state (-journal / -resume): quality-table commands record
+// every completed (matcher, target, seed) cell into a JSONL journal, and
+// -resume replays completed cells instead of re-running them. A resumed
+// run produces output bit-identical to an uninterrupted one: the journal
+// stores exact confusion counts, and its header pins the study, the
+// benchmark fingerprint and the seed list.
+var (
+	journalCmd  string        // top-level command, pinned in the journal header
+	journalPath string        // -journal flag (empty: derived from the command)
+	journalOn   bool          // record cells into a journal
+	resumeRun   bool          // -resume flag: replay completed cells
+	journal     *snap.Journal // opened lazily by the first quality run
+)
 
 func main() {
 	if len(os.Args) < 2 {
@@ -70,8 +91,15 @@ func main() {
 	parallel := fs.Int("parallel", 0, "evaluation workers: 0 = one per CPU, 1 = sequential (results are identical either way)")
 	tracePath := fs.String("trace", "", "write a JSONL span trace of the evaluation to this file")
 	metricsDump := fs.Bool("metrics-dump", false, "dump the worker-pool metrics registry as JSON to stderr on exit")
+	jPath := fs.String("journal", "", "record completed evaluation cells into this JSONL run journal (default emstudy-<cmd>.journal)")
+	resume := fs.Bool("resume", false, "resume from the run journal: replay completed cells, run only the rest")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	journalCmd, journalPath, resumeRun = cmd, *jPath, *resume
+	journalOn = *jPath != "" || *resume
+	if journalPath == "" {
+		journalPath = "emstudy-" + cmd + ".journal"
 	}
 	seeds := eval.DefaultSeeds
 	if *nSeeds < len(seeds) && *nSeeds > 0 {
@@ -90,6 +118,11 @@ func main() {
 	}
 
 	if err := run(cmd, seeds, *parallel, fs.Arg(0)); err != nil {
+		journal.Close()
+		fmt.Fprintln(os.Stderr, "emstudy:", err)
+		os.Exit(1)
+	}
+	if err := journal.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "emstudy:", err)
 		os.Exit(1)
 	}
@@ -222,9 +255,42 @@ func runTable3(seeds []uint64, parallel int) (*core.QualityResults, error) {
 	return runQuality(core.Table3Specs(), seeds, parallel)
 }
 
+// installJournal opens the run journal on the first quality run of the
+// process (later runs of an `all` invocation reuse it — spec labels are
+// unique across the study's tables) and installs it into the harness.
+func installJournal(h *eval.Harness, seeds []uint64) error {
+	if !journalOn {
+		return nil
+	}
+	if journal == nil {
+		header := snap.JournalHeader{
+			Study:       "emstudy-" + journalCmd,
+			Fingerprint: h.BenchmarkFingerprint(),
+			Seeds:       seeds,
+		}
+		var err error
+		if resumeRun {
+			journal, err = snap.ResumeJournal(journalPath, header)
+		} else {
+			journal, err = snap.CreateJournal(journalPath, header)
+		}
+		if err != nil {
+			return err
+		}
+		if n := journal.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "  resuming %s: %d completed cells replayed\n", journalPath, n)
+		}
+	}
+	h.SetJournal(journal)
+	return nil
+}
+
 func runQuality(specs []core.MatcherSpec, seeds []uint64, parallel int) (*core.QualityResults, error) {
 	h := core.NewHarnessParallel(seeds, parallel)
 	h.SetTracer(tracer)
+	if err := installJournal(h, seeds); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	q, err := core.RunQuality(h, specs, func(label string) {
 		fmt.Fprintf(os.Stderr, "  [%6.1fs] %s done\n", time.Since(start).Seconds(), label)
@@ -353,5 +419,5 @@ func verify() error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: emstudy <table1|table3|table4|table5|table6|figure3|figure4|findings|ablation|rag|cascade|errors|budget|stages|verify|export|all> [-seeds N] [-parallel N] [-trace out.jsonl] [-metrics-dump] [dir]`)
+	fmt.Fprintln(os.Stderr, `usage: emstudy <table1|table3|table4|table5|table6|figure3|figure4|findings|ablation|rag|cascade|errors|budget|stages|verify|export|all> [-seeds N] [-parallel N] [-trace out.jsonl] [-metrics-dump] [-journal run.journal] [-resume] [dir]`)
 }

@@ -131,14 +131,16 @@ func RunQuality(h *eval.Harness, specs []MatcherSpec, progress func(label string
 	out := &QualityResults{Specs: specs}
 	if h.Parallelism() > 1 {
 		factories := make([]eval.MatcherFactory, len(specs))
+		labels := make([]string, len(specs))
 		for i, spec := range specs {
 			factories[i] = spec.Factory
+			labels[i] = spec.Label
 		}
 		var notify func(int)
 		if progress != nil {
 			notify = func(spec int) { progress(specs[spec].Label) }
 		}
-		results, err := h.EvaluateSpecs(factories, notify)
+		results, err := h.EvaluateSpecsLabeled(factories, labels, notify)
 		if err != nil {
 			return nil, fmt.Errorf("core: evaluating quality table: %w", err)
 		}
@@ -146,7 +148,7 @@ func RunQuality(h *eval.Harness, specs []MatcherSpec, progress func(label string
 		return out, nil
 	}
 	for _, spec := range specs {
-		results, err := h.EvaluateAll(spec.Factory)
+		results, err := h.EvaluateAllLabeled(spec.Factory, spec.Label)
 		if err != nil {
 			return nil, fmt.Errorf("core: evaluating %s: %w", spec.Label, err)
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/record"
+	"repro/internal/snap"
 	"repro/internal/stats"
 	"repro/internal/textsim"
 )
@@ -95,6 +96,13 @@ type Harness struct {
 	// context.Background() when tracing is off (the nil fast path of
 	// obs.Start) or an obs.WithTracer context when on.
 	tctx context.Context
+	// journal, when non-nil, records every completed evaluation cell and
+	// short-circuits cells it already holds — the mechanism behind
+	// resumable runs. Journal hits bypass training entirely, which is
+	// sound because a cell's confusion counts are a pure function of
+	// (matcher label, target, seed) under the fixed benchmark the journal
+	// header fingerprints.
+	journal *snap.Journal
 }
 
 // NewHarness generates the benchmark and fixes the test partitions.
@@ -136,6 +144,21 @@ func (h *Harness) SetTracer(t *obs.Tracer) {
 
 // Tracer returns the harness's tracer, or nil when tracing is off.
 func (h *Harness) Tracer() *obs.Tracer { return h.cfg.Tracer }
+
+// SetJournal installs (or, with nil, removes) the run journal consulted
+// and appended by labeled evaluations. Must not be called concurrently
+// with an evaluation.
+func (h *Harness) SetJournal(j *snap.Journal) { h.journal = j }
+
+// Journal returns the installed run journal, or nil.
+func (h *Harness) Journal() *snap.Journal { return h.journal }
+
+// BenchmarkFingerprint returns a content hash of the whole generated
+// benchmark — the fingerprint a run journal header pins, so a journal
+// can never resume against different data.
+func (h *Harness) BenchmarkFingerprint() string {
+	return record.CombineFingerprints(record.DatasetFingerprints(h.all))
+}
 
 // Parallelism returns the resolved worker count of the harness.
 func (h *Harness) Parallelism() int { return par.Workers(h.cfg.Parallelism) }
@@ -265,6 +288,26 @@ func (h *Harness) runCell(factory MatcherFactory, in *targetInputs, seed uint64)
 	return cell{name: m.Name(), conf: conf}
 }
 
+// runCellJournaled is runCell behind the run journal: a journal hit
+// returns the recorded cell without constructing or training a matcher;
+// a miss runs the cell live and records it. label is the journal key
+// (the spec label — unique per table row, unlike Name(), which several
+// Table 4 rows share); an empty label disables journaling for the cell.
+func (h *Harness) runCellJournaled(factory MatcherFactory, label string, in *targetInputs, seed uint64) (cell, error) {
+	if h.journal == nil || label == "" {
+		return h.runCell(factory, in, seed), nil
+	}
+	if rec, ok := h.journal.Lookup(label, in.d.Name, seed); ok {
+		return cell{name: rec.Display, conf: Confusion{TP: rec.TP, FP: rec.FP, TN: rec.TN, FN: rec.FN}}, nil
+	}
+	c := h.runCell(factory, in, seed)
+	err := h.journal.Record(snap.CellResult{
+		Matcher: label, Display: c.name, Target: in.d.Name, Seed: seed,
+		TP: c.conf.TP, FP: c.conf.FP, TN: c.conf.TN, FN: c.conf.FN,
+	})
+	return c, err
+}
+
 // mergeCells folds per-seed cells (in seed order) into a Result.
 func mergeCells(target string, cells []cell) Result {
 	res := Result{Target: target}
@@ -280,13 +323,22 @@ func mergeCells(target string, cells []cell) Result {
 
 // EvaluateTarget runs one matcher on one target dataset across all seeds.
 func (h *Harness) EvaluateTarget(factory MatcherFactory, target string) (Result, error) {
+	return h.EvaluateTargetLabeled(factory, "", target)
+}
+
+// EvaluateTargetLabeled is EvaluateTarget with a journal label: when a
+// run journal is installed and label is non-empty, completed cells are
+// replayed from the journal and fresh cells are recorded into it.
+func (h *Harness) EvaluateTargetLabeled(factory MatcherFactory, label, target string) (Result, error) {
 	in, err := h.targetInputs(target)
 	if err != nil {
 		return Result{}, err
 	}
 	cells := make([]cell, len(h.cfg.Seeds))
 	for i, seed := range h.cfg.Seeds {
-		cells[i] = h.runCell(factory, in, seed)
+		if cells[i], err = h.runCellJournaled(factory, label, in, seed); err != nil {
+			return Result{}, err
+		}
 	}
 	return mergeCells(target, cells), nil
 }
@@ -295,9 +347,15 @@ func (h *Harness) EvaluateTarget(factory MatcherFactory, target string) (Result,
 // (leave-one-dataset-out over the full benchmark). Results come back in
 // Table 1 dataset order.
 func (h *Harness) EvaluateAll(factory MatcherFactory) ([]Result, error) {
+	return h.EvaluateAllLabeled(factory, "")
+}
+
+// EvaluateAllLabeled is EvaluateAll with a journal label (see
+// EvaluateTargetLabeled).
+func (h *Harness) EvaluateAllLabeled(factory MatcherFactory, label string) ([]Result, error) {
 	var out []Result
 	for _, d := range h.all {
-		r, err := h.EvaluateTarget(factory, d.Name)
+		r, err := h.EvaluateTargetLabeled(factory, label, d.Name)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/par"
@@ -68,6 +69,19 @@ func (h *Harness) EvaluateAllParallel(factory MatcherFactory) ([]Result, error) 
 // sequential run would report it — even when a later spec's cells finish
 // first.
 func (h *Harness) EvaluateSpecs(factories []MatcherFactory, progress func(spec int)) ([][]Result, error) {
+	return h.EvaluateSpecsLabeled(factories, nil, progress)
+}
+
+// EvaluateSpecsLabeled is EvaluateSpecs with per-spec journal labels:
+// when a run journal is installed and labels is non-nil, completed cells
+// replay from the journal (skipping training entirely) and fresh cells
+// are recorded as they finish — so a killed run resumes where it
+// stopped. Replayed and live cells merge through the same indexed slots,
+// keeping a resumed run bit-identical to an uninterrupted one.
+func (h *Harness) EvaluateSpecsLabeled(factories []MatcherFactory, labels []string, progress func(spec int)) ([][]Result, error) {
+	if labels != nil && len(labels) != len(factories) {
+		return nil, fmt.Errorf("eval: %d factories but %d labels", len(factories), len(labels))
+	}
 	inputs := make([]*targetInputs, len(h.all))
 	for t, d := range h.all {
 		in, err := h.targetInputs(d.Name)
@@ -91,7 +105,15 @@ func (h *Harness) EvaluateSpecs(factories []MatcherFactory, progress func(spec i
 	err := par.Do(len(cells), h.Parallelism(), func(i int) error {
 		s, rem := i/perSpec, i%perSpec
 		t, k := rem/nSeeds, rem%nSeeds
-		cells[i] = h.runCell(factories[s], inputs[t], h.cfg.Seeds[k])
+		label := ""
+		if labels != nil {
+			label = labels[s]
+		}
+		c, cerr := h.runCellJournaled(factories[s], label, inputs[t], h.cfg.Seeds[k])
+		if cerr != nil {
+			return cerr
+		}
+		cells[i] = c
 		if remaining[s].Add(-1) == 0 {
 			notifier.Done(s)
 		}

@@ -1,0 +1,69 @@
+package mlcore
+
+import (
+	"fmt"
+
+	"repro/internal/snap"
+)
+
+// This file holds the snapshot codecs for the trained prediction heads.
+// They live in mlcore because MLPConfig is baked into the MLP's forward
+// pass via unexported state; restoring outside the package would be
+// impossible without exporting internals that nothing else needs.
+
+// EncodeLogReg appends a trained logistic-regression head to e.
+func EncodeLogReg(e *snap.Enc, m *LogReg) {
+	e.Str("logreg/v1")
+	e.F64s(m.W)
+	e.F64(m.Bias)
+}
+
+// DecodeLogReg reads a head written by EncodeLogReg.
+func DecodeLogReg(d *snap.Dec) (*LogReg, error) {
+	d.Tag("logreg/v1")
+	m := &LogReg{W: d.F64s(), Bias: d.F64()}
+	return m, d.Err()
+}
+
+// EncodeMLP appends a trained MLP head — configuration and weights — to e.
+func EncodeMLP(e *snap.Enc, m *MLP) {
+	e.Str("mlp/v1")
+	e.Int(m.cfg.Dim)
+	e.Int(m.cfg.Hidden)
+	e.Int(m.cfg.Epochs)
+	e.F64(m.cfg.LearnRate)
+	e.F64(m.cfg.L2)
+	e.F64s(m.W1)
+	e.F64s(m.B1)
+	e.F64s(m.W2)
+	e.F64(m.B2)
+}
+
+// DecodeMLP reads a head written by EncodeMLP. The weight shapes are
+// validated against the recorded configuration, so a corrupt payload
+// cannot yield a head that indexes out of bounds at predict time.
+func DecodeMLP(d *snap.Dec) (*MLP, error) {
+	d.Tag("mlp/v1")
+	m := &MLP{
+		cfg: MLPConfig{
+			Dim:       d.Int(),
+			Hidden:    d.Int(),
+			Epochs:    d.Int(),
+			LearnRate: d.F64(),
+			L2:        d.F64(),
+		},
+	}
+	m.W1 = d.F64s()
+	m.B1 = d.F64s()
+	m.W2 = d.F64s()
+	m.B2 = d.F64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if m.cfg.Dim < 0 || m.cfg.Hidden < 0 ||
+		len(m.W1) != m.cfg.Hidden*m.cfg.Dim || len(m.B1) != m.cfg.Hidden || len(m.W2) != m.cfg.Hidden {
+		return nil, fmt.Errorf("%w: mlp weight shapes do not fit dim=%d hidden=%d",
+			snap.ErrCorrupt, m.cfg.Dim, m.cfg.Hidden)
+	}
+	return m, nil
+}

@@ -1,0 +1,61 @@
+package moe
+
+import (
+	"fmt"
+
+	"repro/internal/snap"
+)
+
+// EncodeModel appends a trained mixture-of-experts model — configuration
+// and all gate/expert/head parameters — to e.
+func EncodeModel(e *snap.Enc, m *Model) {
+	e.Str("moe/v1")
+	e.Int(m.cfg.Dim)
+	e.Int(m.cfg.Experts)
+	e.Int(m.cfg.Hidden)
+	e.Int(m.cfg.Epochs)
+	e.F64(m.cfg.LearnRate)
+	e.F64(m.cfg.L2)
+	e.F64s(m.gateW)
+	e.F64s(m.gateB)
+	e.F64s(m.expertW1)
+	e.F64s(m.expertB1)
+	e.F64s(m.headW)
+	e.F64(m.headB)
+}
+
+// DecodeModel reads a model written by EncodeModel, validating the
+// parameter shapes against the recorded configuration.
+func DecodeModel(d *snap.Dec) (*Model, error) {
+	d.Tag("moe/v1")
+	m := &Model{
+		cfg: Config{
+			Dim:       d.Int(),
+			Experts:   d.Int(),
+			Hidden:    d.Int(),
+			Epochs:    d.Int(),
+			LearnRate: d.F64(),
+			L2:        d.F64(),
+		},
+	}
+	m.gateW = d.F64s()
+	m.gateB = d.F64s()
+	m.expertW1 = d.F64s()
+	m.expertB1 = d.F64s()
+	m.headW = d.F64s()
+	m.headB = d.F64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	cfg := m.cfg
+	if cfg.Dim < 0 || cfg.Experts < 0 || cfg.Hidden < 0 ||
+		len(m.gateW) != cfg.Experts*cfg.Dim ||
+		len(m.gateB) != cfg.Experts ||
+		len(m.expertW1) != cfg.Experts*cfg.Hidden*cfg.Dim ||
+		len(m.expertB1) != cfg.Experts*cfg.Hidden ||
+		len(m.headW) != cfg.Hidden {
+		return nil, fmt.Errorf("%w: moe parameter shapes do not fit dim=%d experts=%d hidden=%d",
+			snap.ErrCorrupt, cfg.Dim, cfg.Experts, cfg.Hidden)
+	}
+	return m, nil
+}

@@ -1,0 +1,86 @@
+package record
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+)
+
+// fingerprints memoizes Dataset fingerprints by identity. Datasets are
+// generated once per process and never mutated after generation, so
+// identity-keyed memoization is safe and avoids rehashing ~10k pairs on
+// every snapshot-store lookup. A package-level map (rather than a
+// sync.Once field) keeps Dataset copyable.
+var fingerprints sync.Map // *Dataset -> string
+
+// Fingerprint returns a SHA-256 content hash of the dataset: schema
+// (attribute names and types) plus every labeled pair in order. Two
+// datasets with identical content fingerprint identically regardless of
+// how they were produced, which makes the fingerprint a sound cache-key
+// component for trained-matcher snapshots.
+func (d *Dataset) Fingerprint() string {
+	if v, ok := fingerprints.Load(d); ok {
+		return v.(string)
+	}
+	h := sha256.New()
+	var scratch [8]byte
+	writeStr := func(s string) {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(len(s)))
+		h.Write(scratch[:])
+		h.Write([]byte(s))
+	}
+	writeInt := func(n int) {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(n))
+		h.Write(scratch[:])
+	}
+	writeRecord := func(r Record) {
+		writeStr(r.ID)
+		writeInt(len(r.Values))
+		for _, v := range r.Values {
+			writeStr(v)
+		}
+	}
+	writeStr(d.Name)
+	writeInt(len(d.Schema.Names))
+	for i, name := range d.Schema.Names {
+		writeStr(name)
+		writeInt(int(d.Schema.Types[i]))
+	}
+	writeInt(len(d.Pairs))
+	for _, p := range d.Pairs {
+		writeRecord(p.Left)
+		writeRecord(p.Right)
+		if p.Match {
+			writeInt(1)
+		} else {
+			writeInt(0)
+		}
+	}
+	fp := hex.EncodeToString(h.Sum(nil))
+	fingerprints.Store(d, fp)
+	return fp
+}
+
+// DatasetFingerprints returns the fingerprints of ds in order.
+func DatasetFingerprints(ds []*Dataset) []string {
+	fps := make([]string, len(ds))
+	for i, d := range ds {
+		fps[i] = d.Fingerprint()
+	}
+	return fps
+}
+
+// CombineFingerprints folds several fingerprints into one, preserving
+// order sensitivity; used to fingerprint a whole benchmark for the LODO
+// run journal header.
+func CombineFingerprints(fps []string) string {
+	h := sha256.New()
+	var scratch [8]byte
+	for _, fp := range fps {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(len(fp)))
+		h.Write(scratch[:])
+		h.Write([]byte(fp))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,95 @@
+package record
+
+import "testing"
+
+func fpDataset(name, value string) *Dataset {
+	return &Dataset{
+		Name: name,
+		Schema: Schema{
+			Names: []string{"title", "price"},
+			Types: []AttrType{AttrText, AttrNumeric},
+		},
+		Pairs: []LabeledPair{
+			{
+				Pair: Pair{
+					Left:  Record{ID: "l1", Values: []string{value, "10"}},
+					Right: Record{ID: "r1", Values: []string{value, "10"}},
+				},
+				Match: true,
+			},
+			{
+				Pair: Pair{
+					Left:  Record{ID: "l2", Values: []string{value, "10"}},
+					Right: Record{ID: "r2", Values: []string{"other", "99"}},
+				},
+				Match: false,
+			},
+		},
+	}
+}
+
+func TestFingerprintDeterministicAndContentKeyed(t *testing.T) {
+	a := fpDataset("DS", "widget")
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+	if len(a.Fingerprint()) != 64 {
+		t.Fatalf("fingerprint %q is not a sha256 hex digest", a.Fingerprint())
+	}
+	// A distinct instance with identical content fingerprints identically:
+	// the hash is over content, not identity.
+	b := fpDataset("DS", "widget")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical content, different fingerprints")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpDataset("DS", "widget").Fingerprint()
+	cases := map[string]*Dataset{
+		"renamed dataset": fpDataset("DS2", "widget"),
+		"changed value":   fpDataset("DS", "gadget"),
+	}
+	flipped := fpDataset("DS", "widget")
+	flipped.Pairs[1].Match = true
+	cases["flipped label"] = flipped
+	retyped := fpDataset("DS", "widget")
+	retyped.Schema.Types[1] = AttrShort
+	cases["changed attr type"] = retyped
+	truncated := fpDataset("DS", "widget")
+	truncated.Pairs = truncated.Pairs[:1]
+	cases["dropped pair"] = truncated
+	for what, d := range cases {
+		if d.Fingerprint() == base {
+			t.Errorf("%s: fingerprint unchanged", what)
+		}
+	}
+}
+
+func TestFingerprintMemoized(t *testing.T) {
+	d := fpDataset("DS", "widget")
+	first := d.Fingerprint()
+	// Datasets are immutable after generation, so the memo returns the
+	// cached value even if the struct is (illegally) mutated afterwards.
+	d.Pairs[0].Left.Values[0] = "mutated"
+	if d.Fingerprint() != first {
+		t.Fatal("fingerprint not memoized by identity")
+	}
+}
+
+func TestCombineFingerprintsOrderSensitive(t *testing.T) {
+	a := fpDataset("A", "x").Fingerprint()
+	b := fpDataset("B", "y").Fingerprint()
+	ab := CombineFingerprints([]string{a, b})
+	ba := CombineFingerprints([]string{b, a})
+	if ab == ba {
+		t.Fatal("combined fingerprint ignores order")
+	}
+	if ab != CombineFingerprints([]string{a, b}) {
+		t.Fatal("combined fingerprint not deterministic")
+	}
+	fps := DatasetFingerprints([]*Dataset{fpDataset("A", "x"), fpDataset("B", "y")})
+	if len(fps) != 2 || fps[0] != a || fps[1] != b {
+		t.Fatalf("DatasetFingerprints = %v", fps)
+	}
+}

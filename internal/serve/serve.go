@@ -150,6 +150,34 @@ type Config struct {
 	// every admitted request. Tracing never changes predictions; it only
 	// observes.
 	Tracer *obs.Tracer
+
+	// Registry, when non-nil, is used instead of a freshly created
+	// metrics registry — so a caller that wires other subsystems (e.g. a
+	// snapshot store opened before the server exists) can expose all
+	// metrics on one /metrics page.
+	Registry *obs.Registry
+
+	// Startup, when non-nil, describes how the served matcher came to be
+	// ready (trained from scratch vs restored from a snapshot store); it
+	// is exposed as emserve_startup_* gauges.
+	Startup *StartupInfo
+}
+
+// StartupInfo records the cold-train vs warm-restore outcome of matcher
+// startup, surfaced on /metrics so operators can see what a restart
+// would cost.
+type StartupInfo struct {
+	// Warm reports the matcher was restored from a snapshot instead of
+	// trained.
+	Warm bool
+	// TrainSeconds is the training wall time (zero on warm starts).
+	TrainSeconds float64
+	// RestoreSeconds is the snapshot load+restore wall time (zero on
+	// cold starts).
+	RestoreSeconds float64
+	// SnapshotHash is the content address the matcher was restored from
+	// or saved to (empty when no store is in play).
+	SnapshotHash string
 }
 
 func (c Config) withDefaults() Config {
@@ -232,8 +260,27 @@ func New(m matchers.Matcher, cfg Config) (*Server, error) {
 		}
 		s.pricingModel, s.pricingRate = model, rate
 	}
-	s.reg = obs.NewRegistry(obs.Label{Key: "matcher", Value: m.Name()})
+	if cfg.Registry != nil {
+		s.reg = cfg.Registry
+	} else {
+		s.reg = obs.NewRegistry(obs.Label{Key: "matcher", Value: m.Name()})
+	}
 	s.metrics.init(s.reg, cfg.MaxBatch)
+	if cfg.Startup != nil {
+		startup := *cfg.Startup // copy: the gauges outlive the caller's struct
+		s.reg.GaugeFunc("emserve_startup_warm", "1 when the matcher was restored from a snapshot, 0 when trained", func() float64 {
+			if startup.Warm {
+				return 1
+			}
+			return 0
+		})
+		s.reg.GaugeFunc("emserve_startup_train_seconds", "matcher training wall time at startup", func() float64 {
+			return startup.TrainSeconds
+		})
+		s.reg.GaugeFunc("emserve_startup_restore_seconds", "snapshot restore wall time at startup", func() float64 {
+			return startup.RestoreSeconds
+		})
+	}
 	// Read-at-exposition metrics: queue depth and cache effectiveness come
 	// straight from their owners, priced dollars derive from the token
 	// counter so the exposed value can never drift from /stats.

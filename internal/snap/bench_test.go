@@ -1,0 +1,146 @@
+package snap_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/matchers"
+	"repro/internal/record"
+	"repro/internal/snap"
+	"repro/internal/stats"
+)
+
+// benchNames are the matchers benchmarked for cold-train vs warm-restore:
+// one trivial baseline, one prompted LLM, and the two heaviest fine-tuned
+// families.
+// Registry names with a trailing -<digits> (gpt-4) alias the GOMAXPROCS
+// suffix in benchmark output, so the sub-benchmark label differs from the
+// registry name there.
+var benchNames = []struct{ label, name string }{
+	{"stringsim", "stringsim"},
+	{"gpt4", "gpt-4"},
+	{"ditto", "ditto"},
+	{"anymatch-gpt2", "anymatch-gpt2"},
+}
+
+func benchTransfer(b *testing.B, target string) []*record.Dataset {
+	b.Helper()
+	var out []*record.Dataset
+	for _, d := range datasets.GenerateAll(42) {
+		if d.Name != target {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func benchMatcher(b *testing.B, name string) (matchers.Matcher, bool) {
+	b.Helper()
+	m, needsTraining, err := matchers.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, needsTraining
+}
+
+// BenchmarkSnapTrainCold measures the cold path: construct and train a
+// matcher from the transfer datasets, exactly as emserve does on a cold
+// start.
+func BenchmarkSnapTrainCold(b *testing.B) {
+	transfer := benchTransfer(b, "FOZA")
+	for _, bn := range benchNames {
+		name := bn.name
+		b.Run(bn.label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, needsTraining := benchMatcher(b, name)
+				if needsTraining {
+					m.Train(transfer, stats.NewRNG(7).Split("train"))
+				} else {
+					m.Train(nil, stats.NewRNG(7).Split("train"))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapRestoreWarm measures the warm path: restore the same
+// trained state from a snapshot-store artifact.
+func BenchmarkSnapRestoreWarm(b *testing.B) {
+	transfer := benchTransfer(b, "FOZA")
+	for _, bn := range benchNames {
+		name := bn.name
+		b.Run(bn.label, func(b *testing.B) {
+			trained, needsTraining := benchMatcher(b, name)
+			if needsTraining {
+				trained.Train(transfer, stats.NewRNG(7).Split("train"))
+			} else {
+				trained.Train(nil, stats.NewRNG(7).Split("train"))
+			}
+			st, err := snap.Open(b.TempDir(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			key := snap.Key{
+				Matcher: name,
+				Config:  matchers.ConfigOf(trained),
+				Data:    record.DatasetFingerprints(transfer),
+				Seed:    7,
+			}
+			if _, err := st.Save(key, trained.Name(), trained.(snap.Snapshotter)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, _ := benchMatcher(b, name)
+				if _, err := st.Load(key, m.(snap.Snapshotter)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapEncode measures raw codec throughput for a trained ditto
+// snapshot (the largest artifact class), isolating serialization cost
+// from store I/O.
+func BenchmarkSnapEncode(b *testing.B) {
+	transfer := benchTransfer(b, "FOZA")
+	m, _ := benchMatcher(b, "ditto")
+	m.Train(transfer, stats.NewRNG(7).Split("train"))
+	s := m.(snap.Snapshotter)
+	meta := snap.Meta{Matcher: m.Name(), Config: matchers.ConfigOf(m)}
+	var buf bytes.Buffer
+	if err := snap.Write(&buf, meta, s); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := snap.Write(&buf, meta, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapDecode measures raw codec decode throughput for the same
+// artifact.
+func BenchmarkSnapDecode(b *testing.B) {
+	transfer := benchTransfer(b, "FOZA")
+	m, _ := benchMatcher(b, "ditto")
+	m.Train(transfer, stats.NewRNG(7).Split("train"))
+	var buf bytes.Buffer
+	if err := snap.Write(&buf, snap.Meta{Matcher: m.Name()}, m.(snap.Snapshotter)); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh, _ := benchMatcher(b, "ditto")
+		if _, err := snap.Read(bytes.NewReader(data), fresh.(snap.Snapshotter)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package snap
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// JournalKind tags the header line of a LODO run journal.
+const JournalKind = "lodo-journal"
+
+// JournalVersion is the journal format version.
+const JournalVersion = 1
+
+// JournalHeader is the first line of a journal file. On resume the
+// header must match the run being resumed — same study, same benchmark
+// fingerprint, same seeds — otherwise the completed cells belong to a
+// different experiment and replaying them would corrupt the results.
+type JournalHeader struct {
+	Kind        string   `json:"kind"`
+	Version     int      `json:"version"`
+	Study       string   `json:"study"`
+	Fingerprint string   `json:"fingerprint"`
+	Seeds       []uint64 `json:"seeds"`
+}
+
+// CellResult is one completed (matcher, target, seed) evaluation cell.
+// Matcher is the spec label (unique per table row — several Table 4 rows
+// share a display name), Display the matcher's Name() used in rendered
+// tables. The confusion counts reconstruct the cell bit-identically:
+// every reported metric derives from these four integers.
+type CellResult struct {
+	Matcher string `json:"matcher"`
+	Display string `json:"display"`
+	Target  string `json:"target"`
+	Seed    uint64 `json:"seed"`
+	TP      int    `json:"tp"`
+	FP      int    `json:"fp"`
+	TN      int    `json:"tn"`
+	FN      int    `json:"fn"`
+}
+
+// cellKey indexes completed cells.
+type cellKey struct {
+	matcher string
+	target  string
+	seed    uint64
+}
+
+// Journal is an append-only JSONL record of completed evaluation cells.
+// Concurrent Record calls (the parallel evaluation engine) serialise on
+// an internal mutex; Lookup is safe concurrently with Record.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[cellKey]CellResult
+}
+
+// CreateJournal starts a fresh journal at path (truncating any existing
+// file) with the given header.
+func CreateJournal(path string, h JournalHeader) (*Journal, error) {
+	h.Kind, h.Version = JournalKind, JournalVersion
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("snap: creating journal: %w", err)
+	}
+	line, err := json.Marshal(h)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("snap: creating journal: %w", err)
+	}
+	return &Journal{f: f, done: make(map[cellKey]CellResult)}, nil
+}
+
+// ResumeJournal opens an existing journal at path, validates its header
+// against h, and loads the completed cells. A missing file falls back to
+// CreateJournal, so "-resume" on a first run just starts the journal. A
+// torn trailing line — the signature of a mid-write kill — is ignored;
+// the cell it would have recorded simply re-runs. Corruption anywhere
+// else fails closed.
+func ResumeJournal(path string, h JournalHeader) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return CreateJournal(path, h)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("snap: resuming journal: %w", err)
+	}
+	h.Kind, h.Version = JournalKind, JournalVersion
+
+	type parsedLine struct {
+		raw []byte
+		end int64 // file offset just past this line's newline
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var lines []parsedLine
+	var off int64
+	for sc.Scan() {
+		raw := append([]byte(nil), sc.Bytes()...)
+		off += int64(len(sc.Bytes())) + 1
+		lines = append(lines, parsedLine{raw: raw, end: off})
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("snap: resuming journal: %w", err)
+	}
+	if len(lines) == 0 {
+		// Empty file: treat as a fresh journal.
+		f.Close()
+		return CreateJournal(path, h)
+	}
+
+	var got JournalHeader
+	if err := json.Unmarshal(lines[0].raw, &got); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("snap: journal header: %w", err)
+	}
+	if got.Kind != JournalKind || got.Version != JournalVersion {
+		f.Close()
+		return nil, fmt.Errorf("snap: %s is not a v%d %s file", path, JournalVersion, JournalKind)
+	}
+	if got.Study != h.Study || got.Fingerprint != h.Fingerprint || !sameSeeds(got.Seeds, h.Seeds) {
+		f.Close()
+		return nil, fmt.Errorf(
+			"snap: journal %s records a different run (study %q fp %.12s seeds %v; want study %q fp %.12s seeds %v)",
+			path, got.Study, got.Fingerprint, got.Seeds, h.Study, h.Fingerprint, h.Seeds)
+	}
+
+	j := &Journal{f: f, done: make(map[cellKey]CellResult)}
+	keepEnd := lines[0].end
+	for i, ln := range lines[1:] {
+		var c CellResult
+		if err := json.Unmarshal(ln.raw, &c); err != nil || c.Target == "" {
+			if i == len(lines)-2 {
+				// Torn final line from a mid-write kill: drop it.
+				break
+			}
+			f.Close()
+			return nil, fmt.Errorf("snap: journal %s: corrupt line %d", path, i+2)
+		}
+		j.done[cellKey{c.Matcher, c.Target, c.Seed}] = c
+		keepEnd = ln.end
+	}
+	// Truncate past the last good line so appended cells never chase a
+	// torn tail.
+	if err := f.Truncate(keepEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("snap: resuming journal: %w", err)
+	}
+	if _, err := f.Seek(keepEnd, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("snap: resuming journal: %w", err)
+	}
+	return j, nil
+}
+
+// sameSeeds compares seed slices element-wise.
+func sameSeeds(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup returns the completed cell for (matcher label, target, seed).
+func (j *Journal) Lookup(matcher, target string, seed uint64) (CellResult, bool) {
+	if j == nil {
+		return CellResult{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	c, ok := j.done[cellKey{matcher, target, seed}]
+	return c, ok
+}
+
+// Record appends a completed cell and adds it to the lookup index. The
+// line is written with a single Write call so a kill can tear at most
+// the final line — exactly what ResumeJournal tolerates.
+func (j *Journal) Record(c CellResult) error {
+	if j == nil {
+		return nil
+	}
+	line, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("snap: journal write: %w", err)
+	}
+	j.done[cellKey{c.Matcher, c.Target, c.Seed}] = c
+	return nil
+}
+
+// Len returns the number of completed cells.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,174 @@
+package snap
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testHeader() JournalHeader {
+	return JournalHeader{Study: "test-study", Fingerprint: "fp-123", Seeds: []uint64{1, 2}}
+}
+
+func cellN(n int) CellResult {
+	return CellResult{
+		Matcher: "M" + string(rune('A'+n)), Display: "Matcher", Target: "T", Seed: uint64(n),
+		TP: n, FP: n + 1, TN: n + 2, FN: n + 3,
+	}
+}
+
+func TestJournalRecordAndResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := CreateJournal(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 5; n++ {
+		if err := j.Record(cellN(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := ResumeJournal(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 5 {
+		t.Fatalf("resumed %d cells, want 5", r.Len())
+	}
+	got, ok := r.Lookup("MC", "T", 2)
+	if !ok || got != cellN(2) {
+		t.Fatalf("Lookup = %+v %v", got, ok)
+	}
+	if _, ok := r.Lookup("MC", "T", 99); ok {
+		t.Fatal("phantom cell")
+	}
+	// The resumed journal keeps appending.
+	if err := r.Record(cellN(7)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalResumeMissingFileStartsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := ResumeJournal(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Len() != 0 {
+		t.Fatalf("fresh journal has %d cells", j.Len())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal("journal file not created")
+	}
+}
+
+func TestJournalResumeTolleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := CreateJournal(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 3; n++ {
+		if err := j.Record(cellN(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	// Simulate a mid-write kill: append half a JSON line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"matcher":"MX","target":"T","se`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r, err := ResumeJournal(path, testHeader())
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("resumed %d cells, want 3", r.Len())
+	}
+	// Appending after resume must produce a clean file (tail truncated).
+	if err := r.Record(cellN(9)); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `"se{`) || !strings.HasSuffix(string(b), "\n") {
+		t.Fatalf("journal left dirty after torn-tail resume:\n%s", b)
+	}
+	if got := strings.Count(string(b), "\n"); got != 5 { // header + 3 + 1
+		t.Fatalf("journal has %d lines, want 5:\n%s", got, b)
+	}
+}
+
+func TestJournalResumeRejectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := CreateJournal(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 3; n++ {
+		if err := j.Record(cellN(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the SECOND cell line (not the tail): must fail closed.
+	lines := strings.Split(string(b), "\n")
+	lines[2] = lines[2][:len(lines[2])/2]
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeJournal(path, testHeader()); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+func TestJournalResumeRejectsWrongRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := CreateJournal(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	for _, h := range []JournalHeader{
+		{Study: "other-study", Fingerprint: "fp-123", Seeds: []uint64{1, 2}},
+		{Study: "test-study", Fingerprint: "fp-999", Seeds: []uint64{1, 2}},
+		{Study: "test-study", Fingerprint: "fp-123", Seeds: []uint64{1}},
+	} {
+		if _, err := ResumeJournal(path, h); err == nil {
+			t.Fatalf("mismatched header %+v accepted", h)
+		}
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	if err := j.Record(cellN(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j.Lookup("M", "T", 1); ok {
+		t.Fatal("nil journal found a cell")
+	}
+	if j.Len() != 0 || j.Close() != nil {
+		t.Fatal("nil journal misbehaves")
+	}
+}

@@ -1,0 +1,154 @@
+package snap
+
+import (
+	"fmt"
+	"io"
+)
+
+// Snapshotter is implemented by every trained matcher (and any other
+// component with restorable state). The contract is strict determinism:
+// after RestoreState, the component must behave bit-identically to the
+// instance SnapshotState was called on — for matchers, identical
+// predictions on every input. Implementations write a leading state tag
+// (e.g. "ditto/v1") and verify it with Dec.Tag on restore, so a snapshot
+// can never silently restore into the wrong type or state layout.
+type Snapshotter interface {
+	// SnapshotState appends the component's trained state to e.
+	SnapshotState(e *Enc) error
+	// RestoreState rebuilds the component's trained state from d. The
+	// receiver must already be configured (constructed via its usual
+	// constructor); RestoreState replaces only what training produced.
+	RestoreState(d *Dec) error
+}
+
+// Meta identifies a snapshot: what produced it and when. It is stored in
+// its own frame ahead of the state, so inspection tools read identity
+// without decoding model weights.
+type Meta struct {
+	// Matcher is the display name of the snapshotted matcher.
+	Matcher string
+	// Config is the matcher's configuration fingerprint (ConfigOf).
+	Config string
+	// Key is the content-address hash the store filed the snapshot
+	// under, "" for snapshots written outside a store.
+	Key string
+	// CreatedUnix is the creation time in Unix seconds.
+	CreatedUnix int64
+}
+
+// Frame names of a snapshot stream.
+const (
+	frameMeta  = "meta"
+	frameState = "state"
+)
+
+// encodeMeta renders Meta as a payload.
+func encodeMeta(m Meta) []byte {
+	e := NewEnc()
+	e.Str(m.Matcher)
+	e.Str(m.Config)
+	e.Str(m.Key)
+	e.I64(m.CreatedUnix)
+	return e.Bytes()
+}
+
+// decodeMeta parses a Meta payload.
+func decodeMeta(payload []byte) (Meta, error) {
+	d := NewDec(payload)
+	m := Meta{
+		Matcher:     d.Str(),
+		Config:      d.Str(),
+		Key:         d.Str(),
+		CreatedUnix: d.I64(),
+	}
+	if err := d.Finish(); err != nil {
+		return Meta{}, fmt.Errorf("meta frame: %w", err)
+	}
+	return m, nil
+}
+
+// Write serialises a snapshot — meta frame, then state frame — to w.
+func Write(w io.Writer, meta Meta, s Snapshotter) error {
+	e := NewEnc()
+	if err := s.SnapshotState(e); err != nil {
+		return fmt.Errorf("snap: snapshotting %s: %w", meta.Matcher, err)
+	}
+	fw := NewFrameWriter(w)
+	if err := fw.WriteFrame(frameMeta, encodeMeta(meta)); err != nil {
+		return err
+	}
+	if err := fw.WriteFrame(frameState, e.Bytes()); err != nil {
+		return err
+	}
+	return fw.Close()
+}
+
+// Read restores a snapshot from r into s and returns its Meta. Unknown
+// frames are skipped after checksum verification, so future writers can
+// add frames without breaking this reader.
+func Read(r io.Reader, s Snapshotter) (Meta, error) {
+	meta, state, err := readFrames(r, true)
+	if err != nil {
+		return Meta{}, err
+	}
+	d := NewDec(state)
+	if err := s.RestoreState(d); err != nil {
+		return Meta{}, err
+	}
+	if err := d.Finish(); err != nil {
+		return Meta{}, err
+	}
+	return meta, nil
+}
+
+// ReadMeta returns a snapshot's Meta without restoring state. The state
+// frame's checksum is still verified in passing.
+func ReadMeta(r io.Reader) (Meta, error) {
+	meta, _, err := readFrames(r, true)
+	return meta, err
+}
+
+// Verify walks the full stream, checking the header, every frame
+// checksum and the end sentinel, and that the mandatory frames are
+// present. It does not decode state, so it works for any matcher.
+func Verify(r io.Reader) (Meta, error) {
+	return ReadMeta(r)
+}
+
+// readFrames consumes a snapshot stream, returning the meta and state
+// payloads. With needState false the state frame may be absent.
+func readFrames(r io.Reader, needState bool) (Meta, []byte, error) {
+	fr, err := NewFrameReader(r)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	var meta Meta
+	var state []byte
+	haveMeta, haveState := false, false
+	for {
+		name, payload, err := fr.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Meta{}, nil, err
+		}
+		switch name {
+		case frameMeta:
+			if meta, err = decodeMeta(payload); err != nil {
+				return Meta{}, nil, err
+			}
+			haveMeta = true
+		case frameState:
+			state = payload
+			haveState = true
+		}
+	}
+	if !haveMeta {
+		return Meta{}, nil, fmt.Errorf("%w: missing %q frame", ErrCorrupt, frameMeta)
+	}
+	if needState && !haveState {
+		return Meta{}, nil, fmt.Errorf("%w: missing %q frame", ErrCorrupt, frameState)
+	}
+	return meta, state, nil
+}

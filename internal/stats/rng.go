@@ -33,6 +33,17 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
+// State exposes the generator's internal state for checkpointing. A
+// generator rebuilt with FromState(State()) continues the exact stream.
+func (r *RNG) State() uint64 { return r.state }
+
+// FromState reconstructs a generator from a State() value. Unlike NewRNG
+// it does not re-mix: the state is installed verbatim, so the restored
+// generator's next draw equals the snapshotted generator's next draw.
+func FromState(state uint64) *RNG {
+	return &RNG{state: state}
+}
+
 // Split derives an independent child generator identified by label. Children
 // with different labels, or derived from generators with different states,
 // produce decorrelated streams. The parent is not advanced.

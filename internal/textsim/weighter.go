@@ -1,6 +1,10 @@
 package textsim
 
-import "math"
+import (
+	"fmt"
+	"math"
+	"sort"
+)
 
 // Weighter holds corpus document-frequency statistics and computes
 // IDF-weighted cosine similarity. Fine-tuned matchers build a Weighter over
@@ -73,6 +77,37 @@ func (w *Weighter) DocCount() int { return w.docCount }
 func (w *Weighter) IDF(t string) float64 {
 	df := w.docFreq[t]
 	return math.Log(1 + float64(w.docCount+1)/float64(df+1))
+}
+
+// ExportDocFreq returns the document-frequency table as parallel
+// token/count slices in sorted token order — the deterministic form the
+// snapshot codec stores. The receiver is not modified.
+func (w *Weighter) ExportDocFreq() (tokens []string, counts []int) {
+	tokens = make([]string, 0, len(w.docFreq))
+	for t := range w.docFreq {
+		tokens = append(tokens, t)
+	}
+	sort.Strings(tokens)
+	counts = make([]int, len(tokens))
+	for i, t := range tokens {
+		counts[i] = w.docFreq[t]
+	}
+	return tokens, counts
+}
+
+// NewWeighterFromCounts reconstructs a Weighter from an exported table.
+// IDF depends only on the counts, so the rebuilt Weighter weighs every
+// token identically to the exported one.
+func NewWeighterFromCounts(docCount int, tokens []string, counts []int) (*Weighter, error) {
+	if len(tokens) != len(counts) {
+		return nil, fmt.Errorf("textsim: %d tokens but %d counts", len(tokens), len(counts))
+	}
+	w := NewWeighter()
+	w.docCount = docCount
+	for i, t := range tokens {
+		w.docFreq[t] = counts[i]
+	}
+	return w, nil
 }
 
 // CosineTFIDF returns the cosine similarity between the IDF-weighted term
