@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json bench-json-serve bench-json-obs bench-json-snap verify-parallel vet serve-smoke loadgen-report trace-demo snap-verify
+.PHONY: build test bench bench-json bench-json-serve bench-json-obs bench-json-snap bench-json-wire wire-alloc-gate verify-parallel vet serve-smoke loadgen-report trace-demo snap-verify
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,15 @@ bench-json-snap:
 		-benchtime=1s -benchmem ./internal/snap | $(GO) run ./cmd/benchjson > BENCH_pr5.json
 	@cat BENCH_pr5.json
 
+# Zero-copy hot-path benchmarks: the binary wire protocol through
+# ServeWire (cache-hit and scoring paths), recorded as JSON for regression
+# tracking (see EXPERIMENTS.md "Zero-copy hot path"). benchjson -zero
+# fails the target if the cache-hit wire path ever allocates.
+bench-json-wire:
+	$(GO) test -run '^$$' -bench 'WireCacheHit|WireMiss' \
+		-benchtime=1s -benchmem ./internal/serve | $(GO) run ./cmd/benchjson -zero 'WireCacheHit' > BENCH_pr6.json
+	@cat BENCH_pr6.json
+
 # Snapshot-store gate: round-trip bit-identity for every registry
 # configuration, codec/store/journal unit tests, then an end-to-end
 # emsnap train + verify against a throwaway store.
@@ -68,9 +77,20 @@ snap-verify:
 # (internal/serve: micro-batching dispatcher, sharded LRU prediction
 # cache, admission control), and the snapshot store's concurrent writers
 # (internal/snap). Folds in the snap-verify gate so the checkpoint
-# subsystem is exercised end to end on every verification run.
-verify-parallel: vet snap-verify
+# subsystem is exercised end to end on every verification run, and the
+# wire-alloc-gate so the zero-copy binary path cannot silently regress.
+verify-parallel: vet snap-verify wire-alloc-gate
 	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/record/... ./internal/textsim/... ./internal/lm/... ./internal/eval/... ./internal/core/... ./internal/serve/... ./internal/snap/...
+
+# Allocation gate for the zero-copy serving hot path. Runs without -race
+# (the race detector defeats sync.Pool, making allocs/op meaningless):
+# first the AllocsPerRun regression tests, then a short benchmark pass
+# piped through benchjson -zero, which exits non-zero if the binary
+# cache-hit path on stringsim reports any allocs/op.
+wire-alloc-gate:
+	$(GO) test ./internal/serve/ -run 'ZeroAlloc'
+	$(GO) test -run '^$$' -bench 'WireCacheHit' -benchtime=0.2s -benchmem ./internal/serve \
+		| $(GO) run ./cmd/benchjson -zero 'WireCacheHit' > /dev/null
 
 # Smoke-test the serving binary: start emserve, hit /healthz and /match,
 # assert a 200 on both (emserve -smoke exits non-zero otherwise).
@@ -81,6 +101,7 @@ serve-smoke:
 # EXPERIMENTS.md serving table.
 loadgen-report:
 	$(GO) run ./cmd/emserve -matcher stringsim -loadgen -duration 5s
+	$(GO) run ./cmd/emserve -matcher stringsim -loadgen -duration 5s -proto binary
 	$(GO) run ./cmd/emserve -matcher gpt-4 -loadgen -duration 5s
 
 vet:

@@ -1,13 +1,19 @@
 // Command benchjson converts `go test -bench -benchmem` output on stdin
 // into a JSON document on stdout, so benchmark runs can be archived and
 // diffed (see the bench-json Make target and EXPERIMENTS.md).
+//
+// -zero <regexp> additionally asserts that every matching benchmark
+// reports 0 allocs/op, exiting non-zero otherwise — the allocation
+// regression gate on the serving hot path (make verify-parallel).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -31,6 +37,17 @@ type Report struct {
 }
 
 func main() {
+	zeroPat := flag.String("zero", "", "fail unless every benchmark matching this regexp reports 0 allocs/op")
+	flag.Parse()
+	var zero *regexp.Regexp
+	if *zeroPat != "" {
+		var err error
+		if zero, err = regexp.Compile(*zeroPat); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -zero pattern:", err)
+			os.Exit(1)
+		}
+	}
+
 	var rep Report
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
@@ -59,6 +76,26 @@ func main() {
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if zero != nil {
+		matched, failed := 0, 0
+		for _, r := range rep.Results {
+			if !zero.MatchString(r.Name) {
+				continue
+			}
+			matched++
+			if r.AllocsPerOp != 0 {
+				failed++
+				fmt.Fprintf(os.Stderr, "benchjson: %s allocates %d allocs/op, want 0\n", r.Name, r.AllocsPerOp)
+			}
+		}
+		if matched == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: no benchmark matched -zero %q\n", zero)
+			os.Exit(1)
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
 	}
 }
 

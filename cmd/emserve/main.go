@@ -1,7 +1,8 @@
 // Command emserve runs the online entity-matching service: it loads any
 // matcher from the study (fine-tuned matchers train once at startup on the
 // built-in transfer library, exactly like emmatch) and answers /match
-// requests for single pairs and batches over HTTP JSON, with
+// requests for single pairs and batches over HTTP JSON or the compact
+// binary wire protocol (content-type negotiated; see internal/wire), with
 // micro-batching, a sharded LRU prediction cache and admission control
 // (see internal/serve).
 //
@@ -11,6 +12,7 @@
 //	emserve -matcher gpt-4 -deadline 250ms -queue 2048
 //	emserve -matcher ditto -store /var/lib/emserve/snapshots
 //	emserve -matcher stringsim -loadgen -qps 0 -duration 5s
+//	emserve -matcher stringsim -loadgen -proto binary
 //	emserve -matcher stringsim -smoke
 //
 // Endpoints:
@@ -27,10 +29,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -48,6 +52,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/snap"
 	"repro/internal/stats"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -72,6 +77,7 @@ func main() {
 		perReq   = flag.Int("pairs-per-request", 64, "loadgen pairs per request")
 		dataset  = flag.String("dataset", "ABT", "loadgen benchmark dataset to replay")
 		jsonOut  = flag.Bool("json", false, "loadgen: print the report as JSON")
+		proto    = flag.String("proto", serve.ProtoJSON, "loadgen request protocol: json or binary")
 
 		smoke = flag.Bool("smoke", false, "start, self-check /healthz and /match, exit")
 
@@ -88,7 +94,8 @@ func main() {
 		addr: *addr, matcher: *matcherName, seed: *seed, parallel: *parallel,
 		store:   *storeDir,
 		loadgen: *loadgen, qps: *qps, duration: *duration, conc: *conc,
-		perReq: *perReq, dataset: *dataset, jsonOut: *jsonOut, smoke: *smoke,
+		perReq: *perReq, dataset: *dataset, jsonOut: *jsonOut, proto: *proto,
+		smoke: *smoke,
 		pprof: *pprofOn, tracePath: *tracePath,
 		serveCfg: serve.Config{
 			MatcherName:        *matcherName,
@@ -122,6 +129,7 @@ type runConfig struct {
 	perReq   int
 	dataset  string
 	jsonOut  bool
+	proto    string
 
 	smoke     bool
 	pprof     bool
@@ -297,6 +305,7 @@ func runLoadGen(m matchers.Matcher, cfg runConfig) error {
 		Duration:        cfg.duration,
 		Concurrency:     cfg.conc,
 		PairsPerRequest: cfg.perReq,
+		Protocol:        cfg.proto,
 	})
 	if err != nil {
 		return err
@@ -351,6 +360,37 @@ func runSmoke(srv *serve.Server) error {
 	if len(mr.Predictions) != 1 {
 		return fmt.Errorf("smoke match: got %d predictions, want 1", len(mr.Predictions))
 	}
-	fmt.Printf("smoke ok: %s healthz 200, match 200 (prediction=%v)\n", mr.Matcher, mr.Predictions[0])
+
+	// Binary-protocol round trip: the same pair as a wire frame must come
+	// back 200 with the same decision the JSON path produced.
+	pair := record.Pair{
+		Left:  record.Record{Values: []string{"ipad 4th gen", "apple", "399"}},
+		Right: record.Record{Values: []string{"apple ipad 4", "apple", "399.00"}},
+	}
+	frame := wire.AppendRequest(nil, []record.Pair{pair}, 0)
+	wresp, err := http.Post(base+"/match", wire.ContentType, bytes.NewReader(frame))
+	if err != nil {
+		return fmt.Errorf("smoke wire match: %w", err)
+	}
+	defer wresp.Body.Close()
+	data, err := io.ReadAll(wresp.Body)
+	if err != nil {
+		return fmt.Errorf("smoke wire match: %w", err)
+	}
+	if wresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("smoke wire match: got %d, want 200", wresp.StatusCode)
+	}
+	typ, payload, err := wire.ParseFrame(data)
+	if err != nil || typ != wire.TResp {
+		return fmt.Errorf("smoke wire match: bad response frame (type %d): %v", typ, err)
+	}
+	var wr wire.Response
+	if err := wr.Decode(payload); err != nil {
+		return fmt.Errorf("smoke wire match: bad response payload: %w", err)
+	}
+	if len(wr.Preds) != 1 || wr.Preds[0] != mr.Predictions[0] {
+		return fmt.Errorf("smoke wire match: preds %v disagree with JSON %v", wr.Preds, mr.Predictions)
+	}
+	fmt.Printf("smoke ok: %s healthz 200, match 200 (prediction=%v), wire 200 (agrees)\n", mr.Matcher, mr.Predictions[0])
 	return nil
 }

@@ -70,6 +70,17 @@ func (e *Encoder) normCaps() Capabilities {
 // inputs across seeds.
 func (e *Encoder) Encode(p record.Pair, opts record.SerializeOptions) mlcore.SparseVec {
 	var vec mlcore.SparseVec
+	e.EncodeInto(&vec, p, opts)
+	return vec
+}
+
+// EncodeInto featurises a pair into vec, resetting it first and reusing
+// its capacity. This is the batch-scoring fast path: one scratch vector
+// amortised across a whole micro-batch instead of a fresh allocation per
+// pair. The entries written are identical to Encode's — the encoder is
+// deterministic and callers of Prob never retain the vector.
+func (e *Encoder) EncodeInto(vec *mlcore.SparseVec, p record.Pair, opts record.SerializeOptions) {
+	vec.Reset()
 	caps := e.normCaps()
 
 	// Dense similarity summary features (indices 0..numDenseFeatures-1).
@@ -129,9 +140,9 @@ func (e *Encoder) Encode(p record.Pair, opts record.SerializeOptions) mlcore.Spa
 			j++
 		}
 		if j < len(rt) && rt[j] == t {
-			e.addHashedPrefixed(&vec, "both:", t, 1.0)
+			e.addHashedPrefixed(vec, "both:", t, 1.0)
 		} else {
-			e.addHashedPrefixed(&vec, "only:", t, 0.6)
+			e.addHashedPrefixed(vec, "only:", t, 0.6)
 		}
 	}
 	j = 0
@@ -140,7 +151,7 @@ func (e *Encoder) Encode(p record.Pair, opts record.SerializeOptions) mlcore.Spa
 			j++
 		}
 		if !(j < len(lt) && lt[j] == t) {
-			e.addHashedPrefixed(&vec, "only:", t, 0.6)
+			e.addHashedPrefixed(vec, "only:", t, 0.6)
 		}
 	}
 
@@ -156,7 +167,7 @@ func (e *Encoder) Encode(p record.Pair, opts record.SerializeOptions) mlcore.Spa
 			case gl[i] > gr[j]:
 				j++
 			default:
-				e.addHashedPrefixed(&vec, "g:", gl[i], 0.25)
+				e.addHashedPrefixed(vec, "g:", gl[i], 0.25)
 				i++
 				j++
 			}
@@ -165,8 +176,7 @@ func (e *Encoder) Encode(p record.Pair, opts record.SerializeOptions) mlcore.Spa
 
 	// Normalise the hashed block so long descriptions don't drown the
 	// dense features; the dense block keeps its raw scale.
-	normalizeTail(&vec, numDenseFeatures)
-	return vec
+	normalizeTail(vec, numDenseFeatures)
 }
 
 // addHashedPrefixed hashes a prefixed textual feature ("both:" + token)

@@ -137,18 +137,25 @@ func (m *AnyMatch) Train(transfer []*record.Dataset, rng *stats.RNG) {
 
 // Predict implements Matcher.
 func (m *AnyMatch) Predict(task Task) []bool {
-	st := obs.StartStages(task.Ctx)
 	out := make([]bool, len(task.Pairs))
+	m.PredictBatchInto(task, out)
+	return out
+}
+
+// PredictBatchInto implements BatchPredictor: identical decisions to the
+// per-pair loop, with one scratch feature vector reused across the batch.
+func (m *AnyMatch) PredictBatchInto(task Task, out []bool) {
+	st := obs.StartStages(task.Ctx)
+	var vec mlcore.SparseVec
 	for i, p := range task.Pairs {
 		st.Enter("featurise")
-		x := m.enc.Encode(p, task.Opts)
+		m.enc.EncodeInto(&vec, p, task.Opts)
 		st.Enter("classify")
-		out[i] = m.head.Prob(x) >= 0.5
+		out[i] = m.head.Prob(vec) >= 0.5
 		st.Exit()
 	}
 	st.SetInt("classify", "pairs", int64(len(task.Pairs)))
 	st.End()
-	return out
 }
 
 // selectHard trains a booster on cheap similarity features over a slice of

@@ -1,0 +1,33 @@
+package matchers
+
+// BatchPredictor is the optional batch-level fast path of a matcher: it
+// scores a whole task into a caller-provided buffer while amortising
+// per-invocation costs (kernel scratch, feature-vector allocation,
+// profile lookups) across the batch. The serving dispatcher feeds entire
+// coalesced micro-batches through it.
+//
+// Contract: PredictBatchInto must write out[i] for every pair, must
+// produce decisions bit-identical to Predict on the same task, and must
+// not retain task.Pairs or out beyond the call — the dispatcher pools
+// both buffers.
+type BatchPredictor interface {
+	Matcher
+	PredictBatchInto(task Task, out []bool)
+}
+
+// PredictBatch scores task through the matcher's batch fast path when it
+// has one, falling back to Predict. out is used as the result buffer when
+// it has capacity; the returned slice holds one decision per pair.
+func PredictBatch(m Matcher, task Task, out []bool) []bool {
+	bp, ok := m.(BatchPredictor)
+	if !ok {
+		return m.Predict(task)
+	}
+	if cap(out) < len(task.Pairs) {
+		out = make([]bool, len(task.Pairs))
+	} else {
+		out = out[:len(task.Pairs)]
+	}
+	bp.PredictBatchInto(task, out)
+	return out
+}

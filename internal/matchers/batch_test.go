@@ -1,0 +1,90 @@
+package matchers
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestPredictBatchBitIdentical pins the BatchPredictor contract for every
+// matcher that implements it: PredictBatchInto must produce decisions
+// bit-identical to Predict on the same task, and the PredictBatch helper
+// must reuse a caller buffer with capacity.
+func TestPredictBatchBitIdentical(t *testing.T) {
+	task, _ := miniTask(t, "ABT", 120)
+
+	cases := []struct {
+		name  string
+		build func() Matcher
+	}{
+		{"stringsim", func() Matcher { return NewStringSim() }},
+		{"ditto", func() Matcher {
+			m := NewDitto()
+			m.Train(transferFor("ABT"), stats.NewRNG(1))
+			return m
+		}},
+		{"unicorn", func() Matcher {
+			m := NewUnicorn()
+			m.Train(transferFor("ABT"), stats.NewRNG(1))
+			return m
+		}},
+		{"anymatch", func() Matcher {
+			m := NewAnyMatchLLaMA()
+			m.Train(transferFor("ABT"), stats.NewRNG(1))
+			return m
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.build()
+			bp, ok := m.(BatchPredictor)
+			if !ok {
+				t.Fatalf("%s does not implement BatchPredictor", m.Name())
+			}
+			want := m.Predict(task)
+			got := make([]bool, len(task.Pairs))
+			bp.PredictBatchInto(task, got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("pair %d: batch %v, Predict %v", i, got[i], want[i])
+				}
+			}
+
+			// The helper must reuse a buffer with capacity and truncate one
+			// that is too long.
+			buf := make([]bool, 0, len(task.Pairs)+8)
+			out := PredictBatch(m, task, buf)
+			if len(out) != len(task.Pairs) {
+				t.Fatalf("PredictBatch returned %d decisions, want %d", len(out), len(task.Pairs))
+			}
+			if &out[0] != &buf[:1][0] {
+				t.Fatal("PredictBatch reallocated despite sufficient capacity")
+			}
+			for i := range want {
+				if out[i] != want[i] {
+					t.Fatalf("helper pair %d: %v, want %v", i, out[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPredictBatchFallback checks matchers without a batch fast path still
+// work through the helper.
+func TestPredictBatchFallback(t *testing.T) {
+	task, _ := miniTask(t, "FOZA", 20)
+	m := NewZeroER()
+	if _, ok := Matcher(m).(BatchPredictor); ok {
+		t.Skip("ZeroER grew a batch path; pick a different fallback matcher")
+	}
+	want := m.Predict(task)
+	got := PredictBatch(m, task, nil)
+	if len(got) != len(want) {
+		t.Fatalf("fallback returned %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}

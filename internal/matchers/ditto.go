@@ -2,6 +2,7 @@ package matchers
 
 import (
 	"strings"
+	"unicode"
 
 	"repro/internal/lm"
 	"repro/internal/mlcore"
@@ -97,23 +98,36 @@ func (m *Ditto) Train(transfer []*record.Dataset, rng *stats.RNG) {
 
 // Predict implements Matcher.
 func (m *Ditto) Predict(task Task) []bool {
-	st := obs.StartStages(task.Ctx)
 	out := make([]bool, len(task.Pairs))
+	m.PredictBatchInto(task, out)
+	return out
+}
+
+// PredictBatchInto implements BatchPredictor: identical decisions to the
+// per-pair loop, with one scratch feature vector reused across the batch.
+func (m *Ditto) PredictBatchInto(task Task, out []bool) {
+	st := obs.StartStages(task.Ctx)
+	var vec mlcore.SparseVec
 	for i, p := range task.Pairs {
 		st.Enter("featurise")
-		x := m.enc.Encode(m.summarize(p), task.Opts)
+		m.enc.EncodeInto(&vec, m.summarize(p), task.Opts)
 		st.Enter("classify")
-		out[i] = m.head.Prob(x) >= 0.5
+		out[i] = m.head.Prob(vec) >= 0.5
 		st.Exit()
 	}
 	st.SetInt("classify", "pairs", int64(len(task.Pairs)))
 	st.End()
-	return out
 }
 
 // summarize truncates each value to SummarizeAt tokens, Ditto's long-input
-// strategy for staying within the encoder's context window.
+// strategy for staying within the encoder's context window. Records whose
+// values are all within the budget — the overwhelmingly common case at
+// serving time — are returned as-is, with no clone and no tokenisation
+// allocations; truncation would not have changed a byte of them.
 func (m *Ditto) summarize(p record.Pair) record.Pair {
+	if !needsSummarize(p.Left, m.SummarizeAt) && !needsSummarize(p.Right, m.SummarizeAt) {
+		return p
+	}
 	trunc := func(r record.Record) record.Record {
 		out := r.Clone()
 		for i, v := range out.Values {
@@ -125,6 +139,37 @@ func (m *Ditto) summarize(p record.Pair) record.Pair {
 		return out
 	}
 	return record.Pair{Left: trunc(p.Left), Right: trunc(p.Right)}
+}
+
+// needsSummarize reports whether any value exceeds max whitespace-split
+// tokens, counting fields exactly as strings.Fields does but without
+// allocating the slice.
+func needsSummarize(r record.Record, max int) bool {
+	for _, v := range r.Values {
+		if fieldCount(v, max) > max {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldCount counts strings.Fields fields, stopping once limit+1 fields
+// are seen.
+func fieldCount(s string, limit int) int {
+	n := 0
+	inField := false
+	for _, r := range s {
+		if unicode.IsSpace(r) {
+			inField = false
+		} else if !inField {
+			n++
+			inField = true
+			if n > limit {
+				return n
+			}
+		}
+	}
+	return n
 }
 
 // augmentPair applies one of Ditto's augmentation operators to a pair.

@@ -33,8 +33,17 @@ func (m *StringSim) Train(transfer []*record.Dataset, rng *stats.RNG) {}
 
 // Predict implements Matcher.
 func (m *StringSim) Predict(task Task) []bool {
-	st := obs.StartStages(task.Ctx)
 	out := make([]bool, len(task.Pairs))
+	m.PredictBatchInto(task, out)
+	return out
+}
+
+// PredictBatchInto implements BatchPredictor: the same per-pair decision
+// as Predict, with one kernel scratch checked out for the whole batch
+// instead of one pool round trip per pair.
+func (m *StringSim) PredictBatchInto(task Task, out []bool) {
+	st := obs.StartStages(task.Ctx)
+	sc := textsim.AcquireScratch()
 	for i, p := range task.Pairs {
 		st.Enter("serialize")
 		left := record.SerializeRecord(p.Left, task.Opts)
@@ -43,12 +52,11 @@ func (m *StringSim) Predict(task Task) []bool {
 		// Length bound first: the ratio can never exceed
 		// 2·min(|l|,|r|)/(|l|+|r|), so very asymmetric pairs skip the
 		// quadratic matching entirely without changing any decision.
-		if textsim.RatcliffUpperBound(left, right) > m.Threshold {
-			out[i] = textsim.RatcliffObershelp(left, right) > m.Threshold
-		}
+		out[i] = textsim.RatcliffUpperBound(left, right) > m.Threshold &&
+			sc.RatcliffObershelp(left, right) > m.Threshold
 		st.Exit()
 	}
+	sc.Release()
 	st.SetInt("classify", "pairs", int64(len(task.Pairs)))
 	st.End()
-	return out
 }

@@ -2,6 +2,7 @@ package matchers
 
 import (
 	"repro/internal/lm"
+	"repro/internal/mlcore"
 	"repro/internal/moe"
 	"repro/internal/obs"
 	"repro/internal/record"
@@ -91,16 +92,23 @@ func (m *Unicorn) Train(transfer []*record.Dataset, rng *stats.RNG) {
 
 // Predict implements Matcher.
 func (m *Unicorn) Predict(task Task) []bool {
-	st := obs.StartStages(task.Ctx)
 	out := make([]bool, len(task.Pairs))
+	m.PredictBatchInto(task, out)
+	return out
+}
+
+// PredictBatchInto implements BatchPredictor: identical decisions to the
+// per-pair loop, with one scratch feature vector reused across the batch.
+func (m *Unicorn) PredictBatchInto(task Task, out []bool) {
+	st := obs.StartStages(task.Ctx)
+	var vec mlcore.SparseVec
 	for i, p := range task.Pairs {
 		st.Enter("featurise")
-		x := m.enc.Encode(p, task.Opts)
+		m.enc.EncodeInto(&vec, p, task.Opts)
 		st.Enter("classify")
-		out[i] = m.model.Prob(x) >= 0.5
+		out[i] = m.model.Prob(vec) >= 0.5
 		st.Exit()
 	}
 	st.SetInt("classify", "pairs", int64(len(task.Pairs)))
 	st.End()
-	return out
 }

@@ -28,6 +28,14 @@ func (v *SparseVec) Add(idx int, val float64) {
 	v.Val = append(v.Val, val)
 }
 
+// Reset empties the vector while keeping its capacity, so batch encoders
+// can reuse one scratch vector across many pairs instead of allocating
+// per pair.
+func (v *SparseVec) Reset() {
+	v.Idx = v.Idx[:0]
+	v.Val = v.Val[:0]
+}
+
 // Grow ensures capacity for at least n additional entries, so encoders
 // that know the feature count up front avoid append's doubling copies.
 func (v *SparseVec) Grow(n int) {

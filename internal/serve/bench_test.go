@@ -2,9 +2,11 @@ package serve
 
 import (
 	"context"
+	"net/http"
 	"testing"
 
 	"repro/internal/record"
+	"repro/internal/wire"
 )
 
 // Serving benchmarks for BENCH_pr3.json (see the bench-json-serve Make
@@ -79,9 +81,58 @@ func benchCacheHit(b *testing.B, matcher string) {
 	}
 }
 
+// benchWireCacheHit drives ServeWire with a pre-encoded frame against a
+// warmed cache: the zero-copy binary hot path end to end (frame parse,
+// pooled key probe, response encode), minus the HTTP transport. These are
+// the benchmarks the bench-json-wire gate requires to report 0 allocs/op.
+func benchWireCacheHit(b *testing.B, matcher string, per int) {
+	srv, pairs := benchServer(b, matcher, 1<<12)
+	if _, err := srv.Submit(context.Background(), pairs); err != nil {
+		b.Fatal(err)
+	}
+	frame := wire.AppendRequest(nil, pairs[:per], 0)
+	dst := make([]byte, 0, 4096)
+	ctx := context.Background()
+	// Warm the wire scratch pools before measuring.
+	if st, _ := srv.ServeWire(ctx, frame, dst[:0]); st != http.StatusOK {
+		b.Fatalf("warmup status %d", st)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st, _ := srv.ServeWire(ctx, frame, dst[:0]); st != http.StatusOK {
+			b.Fatalf("status %d", st)
+		}
+	}
+}
+
+// benchWireMiss measures the binary path through scoring (cache disabled):
+// decode, materialise, coalesce, batch kernel, encode.
+func benchWireMiss(b *testing.B, matcher string, per int) {
+	srv, pairs := benchServer(b, matcher, 0)
+	dst := make([]byte, 0, 4096)
+	ctx := context.Background()
+	frames := make([][]byte, 0, len(pairs)/per)
+	for at := 0; at+per <= len(pairs); at += per {
+		frames = append(frames, wire.AppendRequest(nil, pairs[at:at+per], 0))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st, _ := srv.ServeWire(ctx, frames[i%len(frames)], dst[:0]); st != http.StatusOK {
+			b.Fatalf("status %d", st)
+		}
+	}
+}
+
 func BenchmarkServeSinglePairStringSim(b *testing.B) { benchSingle(b, "stringsim") }
 func BenchmarkServeSinglePairGPT4(b *testing.B)      { benchSingle(b, "gpt-4") }
 func BenchmarkServeBatched64StringSim(b *testing.B)  { benchBatched(b, "stringsim") }
 func BenchmarkServeBatched64GPT4(b *testing.B)       { benchBatched(b, "gpt-4") }
 func BenchmarkServeCacheHitStringSim(b *testing.B)   { benchCacheHit(b, "stringsim") }
 func BenchmarkServeCacheHitGPT4(b *testing.B)        { benchCacheHit(b, "gpt-4") }
+
+func BenchmarkWireCacheHitStringSim(b *testing.B)        { benchWireCacheHit(b, "stringsim", 1) }
+func BenchmarkWireCacheHitBatch64StringSim(b *testing.B) { benchWireCacheHit(b, "stringsim", 64) }
+func BenchmarkWireMissSingleStringSim(b *testing.B)      { benchWireMiss(b, "stringsim", 1) }
+func BenchmarkWireMissBatch64StringSim(b *testing.B)     { benchWireMiss(b, "stringsim", 64) }

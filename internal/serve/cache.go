@@ -86,6 +86,28 @@ func (c *PredCache) Get(key string) (match, ok bool) {
 	return match, ok
 }
 
+// GetBytes is Get for a key held in a scratch buffer. The compiler's
+// map-lookup optimisation for m[string(b)] means the conversion never
+// allocates, which is what makes the serving hot path's cache probe free:
+// the caller builds the canonical key in a pooled []byte and probes
+// without ever interning it.
+func (c *PredCache) GetBytes(key []byte) (match, ok bool) {
+	s := &c.shards[fnv64bytes(key)&c.mask]
+	s.mu.Lock()
+	n, ok := s.m[string(key)]
+	if ok {
+		s.moveToFront(n)
+		match = n.match
+	}
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return match, ok
+}
+
 // Put stores a decision, evicting the shard's least-recently-used entry
 // when the shard is full.
 func (c *PredCache) Put(key string, match bool) {
@@ -181,6 +203,21 @@ func fnv64str(s string) uint64 {
 	h := uint64(offset64)
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// fnv64bytes is fnv64str over a byte slice — same hash, so GetBytes and
+// Put agree on the shard for equal key content.
+func fnv64bytes(b []byte) uint64 {
+	const (
+		offset64 = 1469598103934665603
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
 		h *= prime64
 	}
 	return h

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"sync"
 	"time"
 
 	"repro/internal/matchers"
@@ -78,24 +79,30 @@ func (s *Server) Submit(ctx context.Context, pairs []record.Pair) (*MatchResult,
 	span.SetInt("pairs", int64(len(pairs)))
 
 	res := &MatchResult{Preds: make([]bool, len(pairs)), Cached: make([]bool, len(pairs))}
-	cacheable := s.semantics != SemRequestBatch && s.cfg.CacheCapacity > 0
 
 	// Resolve cache hits up front: hits never enter the queue, never hold
-	// a worker, and cost nothing.
+	// a worker, and cost nothing. The probe builds each key in a pooled
+	// scratch buffer and looks it up by bytes, so a hit allocates nothing;
+	// only misses pay for a durable string copy (which the cache Put needs
+	// anyway).
 	var misses []record.Pair
 	var keys []string
 	var slots []int
-	if cacheable {
+	if s.cacheable() {
+		bufp := keyBufPool.Get().(*[]byte)
+		buf := *bufp
 		for i, p := range pairs {
-			key := s.pairKey(p)
-			if match, ok := s.cache.Get(key); ok {
+			buf = s.appendPairKey(buf[:0], p)
+			if match, ok := s.cache.GetBytes(buf); ok {
 				res.Preds[i], res.Cached[i] = match, true
 				continue
 			}
 			misses = append(misses, p)
-			keys = append(keys, key)
+			keys = append(keys, string(buf))
 			slots = append(slots, i)
 		}
+		*bufp = buf
+		keyBufPool.Put(bufp)
 	} else {
 		misses = pairs
 		slots = make([]int, len(pairs))
@@ -112,7 +119,15 @@ func (s *Server) Submit(ctx context.Context, pairs []record.Pair) (*MatchResult,
 		span.End()
 		return res, nil
 	}
+	return s.submitMisses(ctx, start, span, res, misses, keys, slots)
+}
 
+// submitMisses queues the cache-miss pairs and blocks until they are all
+// decided or ctx is done. It is the shared tail of the JSON and binary
+// request paths. res, misses, keys and slots must be heap-owned by the
+// request: on a deadline-expired return the owning worker may still touch
+// them, so callers must not recycle these buffers through a pool.
+func (s *Server) submitMisses(ctx context.Context, start time.Time, span *obs.Span, res *MatchResult, misses []record.Pair, keys []string, slots []int) (*MatchResult, error) {
 	req := &request{
 		ctx:      ctx,
 		pairs:    misses,
@@ -125,7 +140,7 @@ func (s *Server) Submit(ctx context.Context, pairs []record.Pair) (*MatchResult,
 		qspan:    span.Child("queue"),
 	}
 	if err := s.enqueue(req); err != nil {
-		// The request never entered the queue, so Submit still owns its
+		// The request never entered the queue, so this path still owns its
 		// spans.
 		req.qspan.End()
 		span.SetStr("outcome", "shed")
@@ -263,15 +278,49 @@ func (s *Server) runBatch(batch []*request) {
 	bspan.End()
 }
 
+// batchScratch is one worker's pooled buffer set for a coalesced scoring
+// pass: the flattened pair slice fed to the matcher and the result buffer
+// its batch kernel writes into.
+type batchScratch struct {
+	pairs []record.Pair
+	out   []bool
+}
+
+var batchPool = sync.Pool{New: func() any { return &batchScratch{} }}
+
 // scoreCoalesced feeds every live pair to the matcher as one batch — valid
 // only under batch-invariant semantics, where the grouping provably cannot
 // change any decision — then scatters results back to their requests.
+//
+// Matchers implementing matchers.BatchPredictor take the zero-allocation
+// fast path: pooled pair/result buffers plus the matcher's batch kernel,
+// which amortises its own scratch (sequence-matcher state, feature
+// vectors) across the whole micro-batch. The pooling is safe because the
+// BatchPredictor contract forbids retaining task.Pairs or out; matchers
+// without the interface keep the original fresh-slice path, since Predict
+// returns a slice whose ownership transfers to the caller.
 func (s *Server) scoreCoalesced(ctx context.Context, live []*request, npairs int) {
-	task := matchers.Task{Pairs: make([]record.Pair, 0, npairs), Ctx: ctx, Opts: s.opts}
-	for _, r := range live {
-		task.Pairs = append(task.Pairs, r.pairs...)
+	task := matchers.Task{Ctx: ctx, Opts: s.opts}
+	var preds []bool
+	var sc *batchScratch
+	if bp, ok := s.matcher.(matchers.BatchPredictor); ok {
+		sc = batchPool.Get().(*batchScratch)
+		task.Pairs = sc.pairs[:0]
+		for _, r := range live {
+			task.Pairs = append(task.Pairs, r.pairs...)
+		}
+		if cap(sc.out) < len(task.Pairs) {
+			sc.out = make([]bool, len(task.Pairs))
+		}
+		preds = sc.out[:len(task.Pairs)]
+		bp.PredictBatchInto(task, preds)
+	} else {
+		task.Pairs = make([]record.Pair, 0, npairs)
+		for _, r := range live {
+			task.Pairs = append(task.Pairs, r.pairs...)
+		}
+		preds = s.matcher.Predict(task)
 	}
-	preds := s.matcher.Predict(task)
 	i := 0
 	for _, r := range live {
 		for j := range r.pairs {
@@ -280,6 +329,11 @@ func (s *Server) scoreCoalesced(ctx context.Context, live []*request, npairs int
 		}
 		r.span.SetStr("outcome", "ok")
 		r.finish()
+	}
+	if sc != nil {
+		sc.pairs = task.Pairs[:0]
+		sc.out = preds[:0]
+		batchPool.Put(sc)
 	}
 	s.metrics.pairsScored.Add(int64(npairs))
 }

@@ -1,15 +1,19 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/record"
+	"repro/internal/snap"
+	"repro/internal/wire"
 )
 
 // PairJSON is one candidate pair on the wire: the two records' attribute
@@ -65,6 +69,13 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	// Content-type negotiation: binary-protocol clients share the endpoint
+	// with JSON clients; the body's media type selects the parser and the
+	// response format.
+	if r.Header.Get("Content-Type") == wire.ContentType {
+		s.handleMatchWire(w, r)
+		return
+	}
 	var req MatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
@@ -106,6 +117,43 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	rspan.End()
 }
 
+// handleMatchWire answers a binary-framed /match request. Body and
+// response buffers come from a pool, so the handler adds no per-request
+// garbage on top of what net/http itself allocates; the protocol work
+// happens in ServeWire.
+func (s *Server) handleMatchWire(w http.ResponseWriter, r *http.Request) {
+	bodyp := bodyBufPool.Get().(*[]byte)
+	outp := bodyBufPool.Get().(*[]byte)
+	defer func() {
+		bodyBufPool.Put(bodyp)
+		bodyBufPool.Put(outp)
+	}()
+	body, rerr := readAllInto((*bodyp)[:0], r.Body)
+	*bodyp = body
+	var status int
+	var out []byte
+	if rerr != nil {
+		var e snap.Enc
+		status, out = s.wireError((*outp)[:0], &e, wireStatus(rerr), "unreadable body: "+rerr.Error())
+	} else {
+		status, out = s.ServeWire(r.Context(), body, (*outp)[:0])
+	}
+	*outp = out
+	w.Header().Set("Content-Type", wire.ContentType)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(out)
+}
+
+// bodyBufPool recycles request-body and response-frame buffers for the
+// binary protocol handler.
+var bodyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
 // toPairs validates the request and converts it to record pairs.
 func (r *MatchRequest) toPairs() ([]record.Pair, error) {
 	single := len(r.Left) > 0 || len(r.Right) > 0
@@ -116,20 +164,23 @@ func (r *MatchRequest) toPairs() ([]record.Pair, error) {
 		if len(r.Left) == 0 || len(r.Right) == 0 {
 			return nil, errors.New("both left and right are required")
 		}
-		r.Pairs = []PairJSON{{Left: r.Left, Right: r.Right}}
+		return []record.Pair{{
+			Left:  record.Record{Values: r.Left},
+			Right: record.Record{Values: r.Right},
+		}}, nil
 	}
 	if len(r.Pairs) == 0 {
 		return nil, errors.New("no pairs in request")
 	}
-	pairs := make([]record.Pair, len(r.Pairs))
+	pairs := make([]record.Pair, 0, len(r.Pairs))
 	for i, p := range r.Pairs {
 		if len(p.Left) == 0 || len(p.Right) == 0 {
 			return nil, fmt.Errorf("pair %d: both left and right are required", i)
 		}
-		pairs[i] = record.Pair{
+		pairs = append(pairs, record.Pair{
 			Left:  record.Record{ID: p.LeftID, Values: p.Left},
 			Right: record.Record{ID: p.RightID, Values: p.Right},
-		}
+		})
 	}
 	return pairs, nil
 }
@@ -173,15 +224,36 @@ func statusFor(err error) int {
 	}
 }
 
+// jsonWriter is a pooled buffer + encoder pair: the encoder writes into
+// the buffer, the buffer flushes to the ResponseWriter in one call, and
+// both are recycled — no json.Encoder or bytes.Buffer garbage per
+// response.
+type jsonWriter struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonPool = sync.Pool{New: func() any {
+	jw := &jsonWriter{}
+	jw.enc = json.NewEncoder(&jw.buf)
+	jw.enc.SetIndent("", "  ")
+	return jw
+}}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	jw := jsonPool.Get().(*jsonWriter)
+	defer jsonPool.Put(jw)
+	jw.buf.Reset()
+	if err := jw.enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
 	}
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(jw.buf.Bytes())
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/matchers"
 	"repro/internal/record"
+	"repro/internal/wire"
 )
 
 // The load generator replays benchmark pairs against a running service at
@@ -41,6 +42,9 @@ type LoadGenConfig struct {
 	// DeadlineMs is the per-request deadline forwarded to the service;
 	// zero sends none.
 	DeadlineMs int
+	// Protocol selects the request encoding: "json" (default) or
+	// "binary" (the internal/wire framed protocol).
+	Protocol string
 }
 
 func (c LoadGenConfig) withDefaults() LoadGenConfig {
@@ -53,15 +57,24 @@ func (c LoadGenConfig) withDefaults() LoadGenConfig {
 	if c.PairsPerRequest <= 0 {
 		c.PairsPerRequest = 1
 	}
+	if c.Protocol == "" {
+		c.Protocol = ProtoJSON
+	}
 	return c
 }
+
+// Protocol names accepted by LoadGenConfig.Protocol and emserve -proto.
+const (
+	ProtoJSON   = "json"
+	ProtoBinary = "binary"
+)
 
 // LoadReport is the outcome of one load-generation run.
 type LoadReport struct {
 	Requests   int64   `json:"requests"`
 	OK         int64   `json:"ok"`
-	Rejected   int64   `json:"rejected"`      // 429/503 responses
-	Errors     int64   `json:"errors"`        // transport or 5xx failures
+	Rejected   int64   `json:"rejected"`       // 429/503 responses
+	Errors     int64   `json:"errors"`         // transport or 5xx failures
 	ClientSkip int64   `json:"client_skipped"` // open-loop ticks with no free worker
 	Pairs      int64   `json:"pairs"`
 	Elapsed    float64 `json:"elapsed_sec"`
@@ -80,8 +93,20 @@ func GenerateLoad(baseURL string, pairs []record.Pair, cfg LoadGenConfig) (LoadR
 		return LoadReport{}, fmt.Errorf("loadgen: no pairs to replay")
 	}
 	// Pre-marshal the request bodies once per distinct chunk: the
-	// generator should spend its cycles on traffic, not JSON encoding.
-	bodies, err := marshalChunks(pairs, cfg.PairsPerRequest, cfg.DeadlineMs)
+	// generator should spend its cycles on traffic, not encoding.
+	var bodies [][]byte
+	var post func(client *http.Client, baseURL string, body []byte) (status, npairs int, costUSD float64, err error)
+	var err error
+	switch cfg.Protocol {
+	case ProtoJSON:
+		bodies, err = marshalChunks(pairs, cfg.PairsPerRequest, cfg.DeadlineMs)
+		post = postMatch
+	case ProtoBinary:
+		bodies = wireChunks(pairs, cfg.PairsPerRequest, cfg.DeadlineMs)
+		post = postMatchWire
+	default:
+		return LoadReport{}, fmt.Errorf("loadgen: unknown protocol %q", cfg.Protocol)
+	}
 	if err != nil {
 		return LoadReport{}, err
 	}
@@ -104,15 +129,15 @@ func GenerateLoad(baseURL string, pairs []record.Pair, cfg LoadGenConfig) (LoadR
 			for idx := range jobs {
 				body := bodies[idx%len(bodies)]
 				t0 := time.Now()
-				status, resp, err := postMatch(client, baseURL, body)
+				status, npairs, costUSD, err := post(client, baseURL, body)
 				lat := time.Since(t0)
 				switch {
 				case err != nil:
 					atomic.AddInt64(&rep.Errors, 1)
 				case status == http.StatusOK:
 					atomic.AddInt64(&rep.OK, 1)
-					atomic.AddInt64(&rep.Pairs, int64(len(resp.Predictions)))
-					costMicro.Add(int64(resp.CostUSD * 1e6))
+					atomic.AddInt64(&rep.Pairs, int64(npairs))
+					costMicro.Add(int64(costUSD * 1e6))
 					mu.Lock()
 					lats = append(lats, lat)
 					mu.Unlock()
@@ -183,21 +208,62 @@ func marshalChunks(pairs []record.Pair, per, deadlineMs int) ([][]byte, error) {
 	return bodies, nil
 }
 
-func postMatch(client *http.Client, baseURL string, body []byte) (int, *MatchResponse, error) {
+// wireChunks pre-encodes the replay set as binary request frames of the
+// given batch size.
+func wireChunks(pairs []record.Pair, per, deadlineMs int) [][]byte {
+	var bodies [][]byte
+	for at := 0; at < len(pairs); at += per {
+		end := at + per
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		bodies = append(bodies, wire.AppendRequest(nil, pairs[at:end], deadlineMs))
+	}
+	return bodies
+}
+
+func postMatch(client *http.Client, baseURL string, body []byte) (int, int, float64, error) {
 	resp, err := client.Post(baseURL+"/match", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return resp.StatusCode, nil, nil
+		return resp.StatusCode, 0, 0, nil
 	}
 	var mr MatchResponse
 	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
-		return resp.StatusCode, nil, err
+		return resp.StatusCode, 0, 0, err
 	}
-	return resp.StatusCode, &mr, nil
+	return resp.StatusCode, len(mr.Predictions), mr.CostUSD, nil
+}
+
+func postMatchWire(client *http.Client, baseURL string, body []byte) (int, int, float64, error) {
+	resp, err := client.Post(baseURL+"/match", wire.ContentType, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, 0, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, 0, 0, nil
+	}
+	typ, payload, err := wire.ParseFrame(data)
+	if err != nil {
+		return resp.StatusCode, 0, 0, fmt.Errorf("loadgen: bad response frame: %w", err)
+	}
+	if typ != wire.TResp {
+		return resp.StatusCode, 0, 0, fmt.Errorf("loadgen: unexpected frame type %d", typ)
+	}
+	var wr wire.Response
+	if err := wr.Decode(payload); err != nil {
+		return resp.StatusCode, 0, 0, err
+	}
+	return resp.StatusCode, len(wr.Preds), wr.CostUSD, nil
 }
 
 func latencyQuantiles(lats []time.Duration) (p50, p95, p99 float64) {
@@ -217,6 +283,7 @@ func latencyQuantiles(lats []time.Duration) (p50, p95, p99 float64) {
 // pipeline.
 type ServingComparison struct {
 	Matcher  string     `json:"matcher"`
+	Protocol string     `json:"protocol"`
 	Pairs    int        `json:"replay_pairs"`
 	Baseline LoadReport `json:"baseline"`
 	Served   LoadReport `json:"served"`
@@ -269,6 +336,7 @@ func CompareServing(m matchers.Matcher, name string, pairs []record.Pair, cfg Lo
 
 	cmp := &ServingComparison{
 		Matcher:      srv.Matcher().Name(),
+		Protocol:     cfg.Protocol,
 		Pairs:        len(pairs),
 		Baseline:     baseRep,
 		Served:       servedRep,
@@ -314,7 +382,7 @@ func listen(srv *Server) (url string, stop func(), err error) {
 // -loadgen CLI mode prints.
 func RenderComparison(c *ServingComparison) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "serving comparison — %s over %d replay pairs\n", c.Matcher, c.Pairs)
+	fmt.Fprintf(&b, "serving comparison — %s over %d replay pairs (%s protocol)\n", c.Matcher, c.Pairs, c.Protocol)
 	row := func(name string, r LoadReport) {
 		fmt.Fprintf(&b, "  %-9s %9.0f pairs/s  %8.0f req/s  p50 %7.3fms  p95 %7.3fms  p99 %7.3fms  ok %d  shed %d",
 			name, r.PairPerSec, r.ReqPerSec, r.P50Ms, r.P95Ms, r.P99Ms, r.OK, r.Rejected)

@@ -342,12 +342,41 @@ func (s *Server) Shutdown() {
 	s.workers.Wait()
 }
 
+// keySep separates the two serialized records inside a canonical pair key.
+// It is unprintable, so it cannot collide with serialized record content.
+const keySep = '\x1f'
+
+// keyBufPool recycles the scratch buffers pair keys are built in, so the
+// cache-probe path allocates nothing: keys only become durable strings on
+// a miss, when they must outlive the probe to feed the cache Put.
+var keyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 256)
+	return &b
+}}
+
 // pairKey returns the canonical cache key of a pair: both serialized
 // records joined with an unprintable separator. Serialization goes through
 // the shared serialize cache, so computing the key of a hot pair is two
 // map hits.
 func (s *Server) pairKey(p record.Pair) string {
-	return record.SerializeRecord(p.Left, s.opts) + "\x1f" + record.SerializeRecord(p.Right, s.opts)
+	return record.SerializeRecord(p.Left, s.opts) + string(keySep) + record.SerializeRecord(p.Right, s.opts)
+}
+
+// appendPairKey appends p's canonical cache key to dst and returns the
+// extended buffer — the same bytes pairKey produces, built without the
+// string concatenation. The cache probe loops use it with a pooled buffer
+// so key construction is allocation-free.
+func (s *Server) appendPairKey(dst []byte, p record.Pair) []byte {
+	dst = append(dst, record.SerializeRecord(p.Left, s.opts)...)
+	dst = append(dst, keySep)
+	dst = append(dst, record.SerializeRecord(p.Right, s.opts)...)
+	return dst
+}
+
+// cacheable reports whether served decisions flow through the prediction
+// cache (request-batch matchers bypass it; capacity 0 disables it).
+func (s *Server) cacheable() bool {
+	return s.semantics != SemRequestBatch && s.cfg.CacheCapacity > 0
 }
 
 // pairCost returns the dollar cost of scoring one pair, and the token

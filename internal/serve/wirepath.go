@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/record"
+	"repro/internal/snap"
+	"repro/internal/wire"
+)
+
+// wireScratch is one request's pooled state on the binary protocol path:
+// the reusable frame decoder, the response encoder, the cache-key scratch
+// and the decision buffers. With every piece pooled, a fully cached binary
+// request runs from bytes-in to bytes-out without allocating.
+type wireScratch struct {
+	req    wire.Request
+	enc    snap.Enc
+	key    []byte
+	preds  []bool
+	cached []bool
+}
+
+var wirePool = sync.Pool{New: func() any { return &wireScratch{} }}
+
+// ServeWire answers one binary-protocol request: body is a complete
+// request frame, dst receives the response frame (reusing its capacity),
+// and the returned status is the HTTP status the frame travels under.
+// Errors are answered as TErr frames with the same code, so binary
+// clients never need a JSON parser.
+//
+// This is the zero-copy hot path: pair values are consumed as views into
+// body (no string materialisation), cache keys are built in pooled
+// scratch, and on a fully cached request nothing escapes to the heap.
+// Only cache misses materialise records, because the scoring queue
+// outlives the frame buffer.
+func (s *Server) ServeWire(ctx context.Context, body, dst []byte) (int, []byte) {
+	sc := wirePool.Get().(*wireScratch)
+	defer wirePool.Put(sc)
+
+	typ, payload, err := wire.ParseFrame(body)
+	if err != nil {
+		return s.wireError(dst, &sc.enc, wireStatus(err), err.Error())
+	}
+	if typ != wire.TReq {
+		return s.wireError(dst, &sc.enc, http.StatusBadRequest, "request frame required")
+	}
+	if err := sc.req.Decode(payload); err != nil {
+		return s.wireError(dst, &sc.enc, http.StatusBadRequest, err.Error())
+	}
+	views := sc.req.Pairs
+	if len(views) == 0 {
+		return s.wireError(dst, &sc.enc, http.StatusBadRequest, "no pairs in request")
+	}
+	if len(views) > s.cfg.MaxPairsPerRequest {
+		return s.wireError(dst, &sc.enc, http.StatusRequestEntityTooLarge, ErrTooLarge.Error())
+	}
+
+	s.metrics.requests.Add(1)
+	start := time.Now()
+	span := s.cfg.Tracer.Root("request")
+	span.SetStr("matcher", s.matcher.Name())
+	span.SetStr("proto", "wire")
+	span.SetInt("pairs", int64(len(views)))
+
+	// Probe the prediction cache straight off the frame views.
+	cacheable := s.cacheable()
+	nmiss := len(views)
+	var preds, cached []bool
+	if cacheable {
+		if cap(sc.preds) < len(views) {
+			sc.preds = make([]bool, len(views))
+			sc.cached = make([]bool, len(views))
+		}
+		preds = sc.preds[:len(views)]
+		cached = sc.cached[:len(views)]
+		nmiss = 0
+		for i, v := range views {
+			sc.key = appendWireKey(sc.key[:0], v)
+			match, ok := s.cache.GetBytes(sc.key)
+			preds[i], cached[i] = match, ok
+			if !ok {
+				nmiss++
+			}
+		}
+	}
+	s.metrics.pairsCached.Add(int64(len(views) - nmiss))
+	span.SetInt("cached", int64(len(views)-nmiss))
+
+	if cacheable && nmiss == 0 {
+		// All-hit fast path: answer from the probe with pooled buffers.
+		// The accounting mirrors Submit's cache return exactly, so /stats
+		// cannot tell the two protocols apart.
+		s.metrics.requestsOK.Add(1)
+		s.metrics.observeLatency(time.Since(start))
+		span.SetStr("outcome", "cache")
+		span.End()
+		e := &sc.enc
+		e.Reset()
+		wire.AppendResponsePayload(e, preds, cached, 0, 0, time.Since(start).Microseconds())
+		return http.StatusOK, wire.AppendFrame(dst, wire.TResp, e.Bytes())
+	}
+
+	// Miss path: materialise the unresolved pairs out of the frame buffer
+	// (the scoring queue outlives it) and hand off to the dispatch tail
+	// shared with the JSON path. res and friends must be heap-owned — see
+	// submitMisses.
+	res := &MatchResult{Preds: make([]bool, len(views)), Cached: make([]bool, len(views))}
+	misses := make([]record.Pair, 0, nmiss)
+	slots := make([]int, 0, nmiss)
+	var keys []string
+	if cacheable {
+		copy(res.Preds, preds)
+		copy(res.Cached, cached)
+		keys = make([]string, 0, nmiss)
+		for i, v := range views {
+			if cached[i] {
+				continue
+			}
+			misses = append(misses, v.Materialize())
+			slots = append(slots, i)
+			sc.key = appendWireKey(sc.key[:0], v)
+			keys = append(keys, string(sc.key))
+		}
+	} else {
+		for i, v := range views {
+			misses = append(misses, v.Materialize())
+			slots = append(slots, i)
+		}
+	}
+
+	deadline := s.cfg.DefaultDeadline
+	if sc.req.DeadlineMs > 0 {
+		deadline = time.Duration(sc.req.DeadlineMs) * time.Millisecond
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	out, err := s.submitMisses(ctx, start, span, res, misses, keys, slots)
+	if err != nil {
+		return s.wireError(dst, &sc.enc, statusFor(err), err.Error())
+	}
+	e := &sc.enc
+	e.Reset()
+	wire.AppendResponsePayload(e, out.Preds, out.Cached, out.CostUSD, out.Tokens, time.Since(start).Microseconds())
+	return http.StatusOK, wire.AppendFrame(dst, wire.TResp, e.Bytes())
+}
+
+// wireError encodes a TErr frame into dst via the pooled encoder and
+// returns it alongside its HTTP status.
+func (s *Server) wireError(dst []byte, e *snap.Enc, status int, msg string) (int, []byte) {
+	e.Reset()
+	wire.AppendErrorPayload(e, status, msg)
+	return status, wire.AppendFrame(dst, wire.TErr, e.Bytes())
+}
+
+// wireStatus maps frame-parse errors to HTTP statuses: an oversize
+// declared payload gets the same 413 an oversized JSON request would,
+// everything else is a malformed request.
+func wireStatus(err error) int {
+	if errors.Is(err, wire.ErrOversize) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// appendWireKey builds a pair's canonical cache key straight from its
+// decoded frame views — byte-identical to Server.appendPairKey on the
+// materialised pair, because serving serialization is exactly the record
+// values joined with the default separator.
+func appendWireKey(dst []byte, v wire.PairView) []byte {
+	dst = appendWireRecord(dst, v.Left)
+	dst = append(dst, keySep)
+	return appendWireRecord(dst, v.Right)
+}
+
+func appendWireRecord(dst []byte, vals [][]byte) []byte {
+	for i, val := range vals {
+		if i > 0 {
+			dst = append(dst, record.DefaultSeparator...)
+		}
+		dst = append(dst, val...)
+	}
+	return dst
+}
+
+// readAllInto reads r into dst (reusing its capacity), refusing bodies
+// beyond the largest legal frame so a hostile client cannot balloon the
+// pooled buffers.
+func readAllInto(dst []byte, r io.Reader) ([]byte, error) {
+	const limit = wire.MaxPayload + 16
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+		if len(dst) > limit {
+			return dst, wire.ErrOversize
+		}
+	}
+}

@@ -21,6 +21,11 @@ type Enc struct {
 // NewEnc returns an empty encoder.
 func NewEnc() *Enc { return &Enc{} }
 
+// Reset empties the encoder while keeping its buffer capacity, so pooled
+// encoders (the wire protocol's response path) reach a zero-allocation
+// steady state.
+func (e *Enc) Reset() { e.buf = e.buf[:0] }
+
 // Bytes returns the encoded payload.
 func (e *Enc) Bytes() []byte { return e.buf }
 
@@ -66,6 +71,20 @@ func (e *Enc) Str(s string) {
 	e.Uvarint(uint64(len(s)))
 	e.buf = append(e.buf, s...)
 }
+
+// BytesField appends a length-prefixed byte slice — the []byte twin of Str,
+// readable by either Str or BytesView.
+func (e *Enc) BytesField(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Raw appends bytes with no length prefix, for callers that frame the
+// payload themselves (the wire protocol's prediction bitsets).
+func (e *Enc) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
+// Byte appends a single raw byte.
+func (e *Enc) Byte(b byte) { e.buf = append(e.buf, b) }
 
 // F64s appends a length-prefixed []float64.
 func (e *Enc) F64s(vs []float64) {
@@ -117,6 +136,15 @@ type Dec struct {
 
 // NewDec returns a decoder over payload.
 func NewDec(payload []byte) *Dec { return &Dec{buf: payload} }
+
+// Reset points the decoder at a new payload and clears any sticky error,
+// so pooled decoders (the wire protocol's request path) decode without
+// allocating a Dec per message.
+func (d *Dec) Reset(payload []byte) {
+	d.buf = payload
+	d.off = 0
+	d.err = nil
+}
 
 // Err returns the first decode error, or nil.
 func (d *Dec) Err() error { return d.err }
@@ -206,6 +234,27 @@ func (d *Dec) Str() string {
 	}
 	return string(d.take(int(n)))
 }
+
+// BytesView reads a length-prefixed byte field as a view into the payload
+// — no copy, unlike Str. The view aliases the decoder's buffer, so it is
+// valid only while the payload is; callers that outlive the buffer must
+// copy.
+func (d *Dec) BytesView() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail("bytes length %d exceeds %d remaining bytes", n, d.Remaining())
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// RawView returns the next n bytes as a view into the payload — the
+// reader for Enc.Raw, where the caller knows the byte count from its own
+// framing.
+func (d *Dec) RawView(n int) []byte { return d.take(n) }
 
 // lenPrefix reads a slice length, bounding it by the remaining bytes at
 // the given minimum element width so corrupt prefixes fail instead of

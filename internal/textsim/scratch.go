@@ -84,27 +84,59 @@ func isASCII(s string) bool {
 // substring. This is the exact algorithm behind the StringSim baseline in
 // the paper (a match is predicted when the ratio exceeds 0.5).
 func RatcliffObershelp(a, b string) float64 {
-	if a == "" && b == "" {
-		return 1
-	}
-	if a == "" || b == "" {
-		return 0
-	}
-	if a == b {
-		return 1
+	if r, done := ratcliffTrivial(a, b); done {
+		return r
 	}
 	sc := seqPool.Get().(*seqScratch)
-	var ratio float64
-	if isASCII(a) && isASCII(b) {
-		m := matchedBytes(a, b, sc)
-		ratio = 2 * float64(m) / float64(len(a)+len(b))
-	} else {
-		ra, rb := sc.runes(a, b)
-		m := matchedRunes(ra, rb, sc)
-		ratio = 2 * float64(m) / float64(len(ra)+len(rb))
-	}
+	ratio := ratcliffWith(a, b, sc)
 	seqPool.Put(sc)
 	return ratio
+}
+
+// ratcliffTrivial handles the empty/equal fast cases that need no scratch.
+func ratcliffTrivial(a, b string) (float64, bool) {
+	if a == "" && b == "" {
+		return 1, true
+	}
+	if a == "" || b == "" {
+		return 0, true
+	}
+	if a == b {
+		return 1, true
+	}
+	return 0, false
+}
+
+// ratcliffWith is RatcliffObershelp over caller-held scratch.
+func ratcliffWith(a, b string, sc *seqScratch) float64 {
+	if isASCII(a) && isASCII(b) {
+		m := matchedBytes(a, b, sc)
+		return 2 * float64(m) / float64(len(a)+len(b))
+	}
+	ra, rb := sc.runes(a, b)
+	m := matchedRunes(ra, rb, sc)
+	return 2 * float64(m) / float64(len(ra)+len(rb))
+}
+
+// Scratch is an exported handle on the pooled kernel scratch, letting
+// batch-level callers (the serving dispatcher's PredictBatch path) pay
+// the sync.Pool round trip once per micro-batch instead of once per pair.
+// A Scratch must be released and must not be used concurrently.
+type Scratch struct{ sc *seqScratch }
+
+// AcquireScratch checks one kernel scratch out of the shared pool.
+func AcquireScratch() Scratch { return Scratch{sc: seqPool.Get().(*seqScratch)} }
+
+// Release returns the scratch to the pool.
+func (s Scratch) Release() { seqPool.Put(s.sc) }
+
+// RatcliffObershelp is the package-level RatcliffObershelp computed on the
+// held scratch — bit-identical results, no pool traffic.
+func (s Scratch) RatcliffObershelp(a, b string) float64 {
+	if r, done := ratcliffTrivial(a, b); done {
+		return r
+	}
+	return ratcliffWith(a, b, s.sc)
 }
 
 // matchedBytes returns the total length of matching blocks between a and b
