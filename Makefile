@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json bench-json-serve bench-json-obs bench-json-snap bench-json-wire wire-alloc-gate verify-parallel vet serve-smoke loadgen-report trace-demo snap-verify
+.PHONY: build test bench bench-json bench-json-serve bench-json-obs bench-json-snap bench-json-wire bench-json-dedup wire-alloc-gate verify-parallel vet serve-smoke loadgen-report trace-demo snap-verify dedup-smoke
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,33 @@ bench-json-wire:
 		-benchtime=1s -benchmem ./internal/serve | $(GO) run ./cmd/benchjson -zero 'WireCacheHit' > BENCH_pr6.json
 	@cat BENCH_pr6.json
 
+# Dataset-scale dedup benchmarks: index build and probe throughput (the
+# probe path is gated at 0 allocs/op), the LSH-versus-token-blocker
+# comparison at 20k, then the full 1M-record comparison (the token side
+# extrapolates from 25k/100k samples, the LSH side runs the million
+# records for real — the 1M half takes tens of minutes on one core).
+# The two DedupCompare rows are distinguished by their "records" metric.
+# Recorded as JSON for regression tracking (see EXPERIMENTS.md
+# "Dataset-scale dedup").
+bench-json-dedup:
+	$(GO) test -run '^$$' -bench 'DedupIndexBuild|DedupProbeStored|DedupProbeRecord|DedupSignature' \
+		-benchtime=1s -benchmem ./internal/blocking/lsh > /tmp/bench-dedup.txt
+	$(GO) test -run '^$$' -bench 'DedupPipeline|DedupCompare' \
+		-benchtime=1x -benchmem ./internal/dedup >> /tmp/bench-dedup.txt
+	DEDUP_COMPARE_N=1000000 $(GO) test -run '^$$' -bench 'DedupCompare' \
+		-benchtime=1x -benchmem -timeout 2h ./internal/dedup >> /tmp/bench-dedup.txt
+	cat /tmp/bench-dedup.txt | $(GO) run ./cmd/benchjson -zero 'DedupProbeStored' > BENCH_pr7.json
+	@cat BENCH_pr7.json
+
+# End-to-end dedup gate: unit tests for the LSH index, corpus generator
+# and pipeline, then an emdedup self-check run (-smoke exits non-zero if
+# blocking recall, cluster F1 or the comparison advantage fall below their
+# floors).
+dedup-smoke:
+	$(GO) test ./internal/blocking/lsh/ ./internal/dedup/ ./cmd/emdedup/ -run .
+	$(GO) test ./internal/datasets/ -run Dedup
+	$(GO) run ./cmd/emdedup -n 20000 -compare -compare-exact 20000 -smoke
+
 # Snapshot-store gate: round-trip bit-identity for every registry
 # configuration, codec/store/journal unit tests, then an end-to-end
 # emsnap train + verify against a throwaway store.
@@ -77,10 +104,13 @@ snap-verify:
 # (internal/serve: micro-batching dispatcher, sharded LRU prediction
 # cache, admission control), and the snapshot store's concurrent writers
 # (internal/snap). Folds in the snap-verify gate so the checkpoint
-# subsystem is exercised end to end on every verification run, and the
-# wire-alloc-gate so the zero-copy binary path cannot silently regress.
-verify-parallel: vet snap-verify wire-alloc-gate
-	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/record/... ./internal/textsim/... ./internal/lm/... ./internal/eval/... ./internal/core/... ./internal/serve/... ./internal/snap/...
+# subsystem is exercised end to end on every verification run, the
+# wire-alloc-gate so the zero-copy binary path cannot silently regress,
+# and the dedup-smoke gate so the dataset-scale blocking pipeline keeps
+# its recall/quality/comparison floors. The race list includes the LSH
+# index and the dedup pipeline (concurrent build/probe workers).
+verify-parallel: vet snap-verify wire-alloc-gate dedup-smoke
+	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/record/... ./internal/textsim/... ./internal/lm/... ./internal/eval/... ./internal/core/... ./internal/serve/... ./internal/snap/... ./internal/blocking/... ./internal/dedup/... ./internal/stream/...
 
 # Allocation gate for the zero-copy serving hot path. Runs without -race
 # (the race detector defeats sync.Pool, making allocs/op meaningless):

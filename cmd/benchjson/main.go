@@ -25,6 +25,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric units (e.g. "records/s",
+	// "comparisons_ratio") keyed by their unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the archived document.
@@ -113,12 +116,25 @@ func parseLine(line string) (Result, bool) {
 		return Result{}, false
 	}
 	r := Result{Name: name, Iterations: iters, NsPerOp: ns}
-	for i := 3; i+1 < len(f); i++ {
+	// After the iteration count, fields come in (value, unit) pairs; any
+	// unit beyond the standard three is a custom b.ReportMetric metric.
+	for i := 2; i+1 < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
 		switch f[i+1] {
+		case "ns/op":
+			// already parsed
 		case "B/op":
-			r.BytesPerOp, _ = strconv.ParseInt(f[i], 10, 64)
+			r.BytesPerOp = int64(val)
 		case "allocs/op":
-			r.AllocsPerOp, _ = strconv.ParseInt(f[i], 10, 64)
+			r.AllocsPerOp = int64(val)
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[f[i+1]] = val
 		}
 	}
 	return r, true

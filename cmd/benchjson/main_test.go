@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestParseLineStandard(t *testing.T) {
+	r, ok := parseLine("BenchmarkQGramJaccard-8  5634930  217.8 ns/op  16 B/op  1 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Name != "BenchmarkQGramJaccard" || r.Iterations != 5634930 || r.NsPerOp != 217.8 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.BytesPerOp != 16 || r.AllocsPerOp != 1 {
+		t.Fatalf("mem fields %+v", r)
+	}
+	if r.Metrics != nil {
+		t.Fatalf("unexpected custom metrics %+v", r.Metrics)
+	}
+}
+
+func TestParseLineCustomMetrics(t *testing.T) {
+	r, ok := parseLine("BenchmarkDedupIndexBuild-8  3  412345678 ns/op  242530 records/s  0.9999 recall  0 B/op  0 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if got := r.Metrics["records/s"]; got != 242530 {
+		t.Fatalf("records/s = %v", got)
+	}
+	if got := r.Metrics["recall"]; got != 0.9999 {
+		t.Fatalf("recall = %v", got)
+	}
+	if r.AllocsPerOp != 0 || r.BytesPerOp != 0 {
+		t.Fatalf("mem fields %+v", r)
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX 10",
+		"BenchmarkX ten 5 ns/op",
+		"BenchmarkX 10 5 seconds",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("%q should not parse", line)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dedup"
+)
+
+// TestOutputByteIdenticalAcrossParallelism pins the acceptance criterion:
+// for a fixed seed, both the report and the cluster partition file are
+// byte-identical whether the run used one worker or eight.
+func TestOutputByteIdenticalAcrossParallelism(t *testing.T) {
+	dir := t.TempDir()
+	runAt := func(parallel int) (report, clusters []byte) {
+		cfg := dedup.DefaultConfig()
+		cfg.N = 3000
+		cfg.Seed = 17
+		cfg.Parallel = parallel
+		out := filepath.Join(dir, "clusters.txt")
+		var buf bytes.Buffer
+		if err := run(cfg, false, 0, out, "", false, false, &buf); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), data
+	}
+	rep1, clu1 := runAt(1)
+	rep8, clu8 := runAt(8)
+	if !bytes.Equal(clu1, clu8) {
+		t.Fatal("cluster partition differs between -parallel 1 and -parallel 8")
+	}
+	if !bytes.Equal(rep1, rep8) {
+		t.Fatalf("report differs between -parallel 1 and -parallel 8:\n--- parallel 1:\n%s--- parallel 8:\n%s", rep1, rep8)
+	}
+	if len(clu1) == 0 {
+		t.Fatal("empty cluster output")
+	}
+}
+
+// TestRunModes exercises the trace, metrics, stream and smoke paths end to
+// end on a small corpus.
+func TestRunModes(t *testing.T) {
+	dir := t.TempDir()
+	cfg := dedup.DefaultConfig()
+	cfg.N = 1200
+	cfg.Seed = 3
+
+	var buf bytes.Buffer
+	trace := filepath.Join(dir, "trace.jsonl")
+	if err := run(cfg, true, 0, "", trace, false, true, &buf); err != nil {
+		t.Fatalf("bulk+compare+smoke run failed: %v\n%s", err, buf.String())
+	}
+	if fi, err := os.Stat(trace); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+
+	buf.Reset()
+	cfg.Stream = true
+	if err := run(cfg, false, 0, "", "", false, false, &buf); err != nil {
+		t.Fatalf("stream run failed: %v", err)
+	}
+
+	// -compare under -stream is a usage error.
+	if err := run(cfg, true, 0, "", "", false, false, &buf); err == nil {
+		t.Fatal("stream+compare should fail")
+	}
+}

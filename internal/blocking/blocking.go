@@ -49,10 +49,25 @@ func New(cfg Config) *Blocker {
 	return &Blocker{cfg: cfg}
 }
 
+// Stats reports the work one blocking call performed, the measure the
+// LSH comparison (cmd/emdedup -compare) puts next to recall: Comparisons
+// is how many record-pair score accumulations the inverted index walked,
+// Candidates how many pairs survived.
+type Stats struct {
+	Comparisons int64
+	Candidates  int64
+}
+
 // CandidatePairs returns the blocked candidate set from left × right,
 // each left record paired with at most MaxCandidatesPerRecord right
 // records sharing rare tokens.
 func (b *Blocker) CandidatePairs(left, right []record.Record) []record.Pair {
+	pairs, _ := b.CandidatePairsStats(left, right)
+	return pairs
+}
+
+// CandidatePairsStats is CandidatePairs plus work counters.
+func (b *Blocker) CandidatePairsStats(left, right []record.Record) ([]record.Pair, Stats) {
 	// Serialize each record once and resolve its text profile through the
 	// shared cache: the profile's Uniq slice is the first-occurrence
 	// deduplicated token list every stage below needs, and the IDF
@@ -90,10 +105,26 @@ func (b *Blocker) CandidatePairs(left, right []record.Record) []record.Pair {
 		minWeight = 0.5
 	}
 
+	// The scores map and candidate slice are reused across left records:
+	// one clear/reslice per record instead of a fresh allocation (and the
+	// sort closure is hoisted with them).
 	var pairs []record.Pair
+	var st Stats
 	scores := make(map[int]float64)
+	type cand struct {
+		j int
+		w float64
+	}
+	cands := make([]cand, 0, 4*b.cfg.MaxCandidatesPerRecord)
+	byWeight := func(a, c int) bool {
+		if cands[a].w != cands[c].w {
+			return cands[a].w > cands[c].w
+		}
+		return cands[a].j < cands[c].j
+	}
 	for li, l := range left {
 		clear(scores)
+		cands = cands[:0]
 		for _, t := range leftProfs[li].Uniq {
 			idf := w.IDF(t)
 			if idf < idfGate {
@@ -103,26 +134,17 @@ func (b *Blocker) CandidatePairs(left, right []record.Record) []record.Pair {
 			if len(postings) > len(right)/4 && len(right) > 40 {
 				continue // degenerate token, would block everything
 			}
+			st.Comparisons += int64(len(postings))
 			for _, j := range postings {
 				scores[j] += idf
 			}
 		}
-		type cand struct {
-			j int
-			w float64
-		}
-		var cands []cand
 		for j, s := range scores {
 			if s >= minWeight {
 				cands = append(cands, cand{j, s})
 			}
 		}
-		sort.Slice(cands, func(a, c int) bool {
-			if cands[a].w != cands[c].w {
-				return cands[a].w > cands[c].w
-			}
-			return cands[a].j < cands[c].j
-		})
+		sort.Slice(cands, byWeight)
 		if len(cands) > b.cfg.MaxCandidatesPerRecord {
 			cands = cands[:b.cfg.MaxCandidatesPerRecord]
 		}
@@ -130,21 +152,30 @@ func (b *Blocker) CandidatePairs(left, right []record.Record) []record.Pair {
 			pairs = append(pairs, record.Pair{Left: l, Right: right[c.j]})
 		}
 	}
-	return pairs
+	st.Candidates = int64(len(pairs))
+	return pairs, st
 }
 
 // Recall computes the fraction of true matches that survive blocking,
 // given the ground-truth matching ID pairs; used by the blocking tests and
-// the dedup example's quality report.
+// the dedup pipeline's quality report. Pair orientation is ignored —
+// deduplication within one relation can emit (A,B) while the truth holds
+// (B,A) — and a truth pair found under both orientations (or more than
+// once) still counts once.
 func Recall(candidates []record.Pair, truth map[[2]string]bool) float64 {
 	if len(truth) == 0 {
 		return 1
 	}
-	found := 0
+	found := make(map[[2]string]bool, len(truth))
 	for _, p := range candidates {
-		if truth[[2]string{p.Left.ID, p.Right.ID}] {
-			found++
+		k := [2]string{p.Left.ID, p.Right.ID}
+		if !truth[k] {
+			k = [2]string{p.Right.ID, p.Left.ID}
+			if !truth[k] {
+				continue
+			}
 		}
+		found[k] = true
 	}
-	return float64(found) / float64(len(truth))
+	return float64(len(found)) / float64(len(truth))
 }

@@ -91,3 +91,87 @@ func TestRecallEdgeCases(t *testing.T) {
 		t.Fatal("no candidates means zero recall")
 	}
 }
+
+// TestRecallOrientationInsensitive is the regression test for the flipped
+// key bug: a self-join emits (A,B) or (B,A) depending on probe order, and
+// both must count against a truth entry keyed either way.
+func TestRecallOrientationInsensitive(t *testing.T) {
+	a := record.Record{ID: "a"}
+	b := record.Record{ID: "b"}
+	c := record.Record{ID: "c"}
+	d := record.Record{ID: "d"}
+	truth := map[[2]string]bool{
+		{"a", "b"}: true,
+		{"c", "d"}: true,
+	}
+	flipped := []record.Pair{{Left: b, Right: a}, {Left: d, Right: c}}
+	if got := Recall(flipped, truth); got != 1 {
+		t.Fatalf("flipped candidate keys scored %.3f, want 1", got)
+	}
+	straight := []record.Pair{{Left: a, Right: b}, {Left: c, Right: d}}
+	if got := Recall(straight, truth); got != 1 {
+		t.Fatalf("straight candidate keys scored %.3f, want 1", got)
+	}
+	// A pair found in both orientations (plus duplicates) still counts once.
+	both := append(append([]record.Pair{}, straight...), flipped...)
+	both = append(both, straight...)
+	if got := Recall(both, truth); got != 1 {
+		t.Fatalf("double-oriented candidates scored %.3f, want 1", got)
+	}
+	if got := Recall(flipped[:1], truth); got != 0.5 {
+		t.Fatalf("half coverage scored %.3f, want 0.5", got)
+	}
+}
+
+// TestCandidatePairsStats pins the comparison counter the emdedup
+// comparison relies on: every posting walked must be counted.
+func TestCandidatePairsStats(t *testing.T) {
+	d := datasets.MustGenerate("FOZA", 42)
+	var left, right []record.Record
+	for i, p := range d.Pairs {
+		if i >= 200 {
+			break
+		}
+		left = append(left, p.Left)
+		right = append(right, p.Right)
+	}
+	b := New(DefaultConfig())
+	pairs, st := b.CandidatePairsStats(left, right)
+	if st.Candidates != int64(len(pairs)) {
+		t.Fatalf("stats candidates %d, pairs %d", st.Candidates, len(pairs))
+	}
+	if st.Comparisons < st.Candidates {
+		t.Fatalf("comparisons %d below candidates %d", st.Comparisons, st.Candidates)
+	}
+}
+
+// TestCandidatePairsScratchReuse guards the per-left-record allocation
+// fix: the scores map and candidate slice are hoisted out of the loop, so
+// allocations must not scale with the number of left records.
+func TestCandidatePairsScratchReuse(t *testing.T) {
+	d := datasets.MustGenerate("FOZA", 42)
+	var left, right []record.Record
+	seen := map[string]bool{}
+	for _, p := range d.Pairs {
+		if !seen[p.Left.ID] {
+			seen[p.Left.ID] = true
+			left = append(left, p.Left)
+		}
+		if !seen[p.Right.ID] {
+			seen[p.Right.ID] = true
+			right = append(right, p.Right)
+		}
+	}
+	b := New(DefaultConfig())
+	b.CandidatePairs(left, right) // warm the shared profile cache
+
+	few := testing.AllocsPerRun(5, func() { b.CandidatePairs(left[:20], right) })
+	many := testing.AllocsPerRun(5, func() { b.CandidatePairs(left, right) })
+	// Weighter observation and the result append cost a few allocations
+	// per record; the hoisted scores map / candidate slice / sort closure
+	// must not come back on top of that (they added ~5 more per record).
+	perLeft := (many - few) / float64(len(left)-20)
+	if perLeft > 6 {
+		t.Fatalf("%.1f allocations per additional left record (few=%.0f many=%.0f)", perLeft, few, many)
+	}
+}

@@ -1,0 +1,66 @@
+package lsh
+
+// MinHash signatures. Each of the k hash functions is a 64-bit
+// multiply-add permutation approximation h_i(x) = a_i*x + b_i with a_i
+// odd, applied to the record's token fingerprints; the signature row is
+// the minimum value over the token set. Equal token sets always produce
+// equal signatures, and P[row collision] ≈ Jaccard(a, b), the MinHash
+// property banding builds on.
+
+type hashParams struct {
+	a []uint64
+	b []uint64
+}
+
+// newHashParams derives k hash-function parameter pairs from seed. The
+// derivation is a fixed function of (k, seed): indexes sharing both agree
+// on every signature, which is what makes fixed-seed runs reproducible at
+// any parallelism level.
+func newHashParams(k int, seed uint64) hashParams {
+	rng := hashSeedRNG(seed)
+	hp := hashParams{a: make([]uint64, k), b: make([]uint64, k)}
+	for i := 0; i < k; i++ {
+		hp.a[i] = rng.Uint64() | 1 // odd multiplier: a bijection mod 2^64
+		hp.b[i] = rng.Uint64()
+	}
+	return hp
+}
+
+func (hp hashParams) k() int { return len(hp.a) }
+
+// signature fills sig (len k) with the MinHash signature of the token
+// fingerprint set. An empty set gets the all-max signature, which collides
+// only with other empty sets. Allocation-free.
+func (hp hashParams) signature(ids []uint64, sig []uint64) {
+	const maxU64 = ^uint64(0)
+	for i := range sig {
+		sig[i] = maxU64
+	}
+	for _, x := range ids {
+		for i := range hp.a {
+			h := hp.a[i]*x + hp.b[i]
+			// Finalizer mix so structured fingerprints spread across the
+			// value range (SplitMix64's output permutation).
+			h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+			h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+			h ^= h >> 31
+			if h < sig[i] {
+				sig[i] = h
+			}
+		}
+	}
+}
+
+// bandKey folds rows sig[b*r : (b+1)*r] and the band index into one 64-bit
+// bucket key (FNV-1a over the row bytes, band-index seeded so distinct
+// bands never share a key space even inside one map).
+func bandKey(sig []uint64, band, rows int) uint64 {
+	h := uint64(1469598103934665603) ^ (uint64(band)+1)*0x9e3779b97f4a7c15
+	for _, v := range sig[band*rows : (band+1)*rows] {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}

@@ -1,0 +1,63 @@
+package lsh
+
+import (
+	"fmt"
+
+	"repro/internal/record"
+)
+
+// StreamSource adapts an Index to internal/stream's CandidateSource
+// interface (structurally — neither package imports the other): arriving
+// records are probed against the index before being added to it, giving
+// the ingestor sublinear candidate retrieval instead of the built-in
+// rare-token posting walk. Candidates come back best-Jaccard first, the
+// order the ingestor scores them in.
+//
+// Like the Ingestor itself, a StreamSource is single-writer: it reuses one
+// Prober and one candidate buffer across arrivals.
+type StreamSource struct {
+	ix     *Index
+	prober *Prober
+	cands  []Candidate
+}
+
+// NewStreamSource returns a stream candidate source over a fresh index
+// with the given configuration.
+func NewStreamSource(cfg Config) *StreamSource {
+	ix := NewIndex(cfg)
+	return &StreamSource{ix: ix, prober: ix.NewProber()}
+}
+
+// Index exposes the underlying index (stats, direct probes).
+func (s *StreamSource) Index() *Index { return s.ix }
+
+// Keys reports the number of occupied buckets across all band shards
+// (surfaces as stream.Stats.IndexKeys).
+func (s *StreamSource) Keys() int {
+	n := 0
+	for _, m := range s.ix.bands {
+		n += len(m)
+	}
+	return n
+}
+
+// Add implements CandidateSource: records must arrive in the ingestor's
+// sequential index order, which is the contract stream.Ingestor provides.
+func (s *StreamSource) Add(r record.Record, idx int) {
+	if got := s.ix.Add(r); got != idx {
+		panic(fmt.Sprintf("lsh: stream source out of sync: record %d added as index %d", idx, got))
+	}
+}
+
+// AppendCandidates implements CandidateSource.
+func (s *StreamSource) AppendCandidates(dst []int, r record.Record, max int) []int {
+	s.cands = s.prober.ProbeRecord(r, s.cands[:0])
+	cands := s.cands
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	for _, c := range cands {
+		dst = append(dst, int(c.Index))
+	}
+	return dst
+}

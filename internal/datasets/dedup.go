@@ -1,0 +1,164 @@
+package datasets
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/par"
+	"repro/internal/record"
+	"repro/internal/stats"
+)
+
+// DedupCorpus is a single-relation deduplication workload: a shuffled pile
+// of records in which some entities appear more than once under different
+// surface forms, plus the ground truth needed to score blocking recall and
+// clustering quality. It is the raw-record starting point the pre-blocked
+// benchmark datasets skip (§2.1): no pairs exist until a blocker makes
+// them.
+type DedupCorpus struct {
+	// Records holds the corpus in a seeded shuffle order (duplicates are
+	// not adjacent).
+	Records []record.Record
+	// Truth maps record ID to its entity key — the input shape
+	// cluster.Evaluate expects.
+	Truth map[string]string
+	// Entities is the number of distinct entities behind the records.
+	Entities int
+	// Schema describes the generated attributes (title, brand, model,
+	// price); matchers never see it.
+	Schema record.Schema
+}
+
+// TruthPairs expands the entity assignment into the unordered duplicate
+// pairs, keyed (lowerID, higherID) in corpus order — the map shape
+// blocking.Recall consumes. Entity sizes are small, so the pair count is
+// linear in the corpus size.
+func (c *DedupCorpus) TruthPairs() map[[2]string]bool {
+	members := make(map[string][]string)
+	for _, r := range c.Records {
+		e := c.Truth[r.ID]
+		members[e] = append(members[e], r.ID)
+	}
+	pairs := make(map[[2]string]bool)
+	for _, ids := range members {
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				pairs[[2]string{ids[i], ids[j]}] = true
+			}
+		}
+	}
+	return pairs
+}
+
+// dedupProfile is the corruption dial between two views of the same
+// entity: aggressive enough that exact-key blocking would miss most
+// duplicates, mild enough that duplicate views keep a token-set Jaccard
+// similarity well above unrelated products'.
+var dedupProfile = CorruptionProfile{
+	Abbreviate:   0.20,
+	Typo:         0.06,
+	DropToken:    0.08,
+	AddNoise:     0.06,
+	NoiseTokens:  2,
+	Reorder:      0.10,
+	CaseFlip:     0.05,
+	NumberFormat: 0.15,
+	MissingValue: 0.04,
+}
+
+// dedupSizeWeights is the entity-size distribution: most entities occur
+// once (pure noise for the dedup task), duplicated entities mostly twice,
+// with a tail up to five occurrences.
+var dedupSizeWeights = []float64{0.52, 0.28, 0.12, 0.05, 0.03}
+
+// GenerateDedupCorpus builds a deterministic synthetic product corpus of
+// exactly n records. Generation parallelises over entities with one
+// seeded RNG stream each, so the corpus is identical at any worker count
+// (workers ≤ 0 means one per CPU).
+func GenerateDedupCorpus(n int, seed uint64, workers int) *DedupCorpus {
+	rng := stats.NewRNG(seed).Split("dedup-corpus")
+
+	// Draw entity sizes sequentially until they cover n records; the
+	// last entity is trimmed to land exactly on n.
+	sizes := make([]int, 0, n)
+	total := 0
+	for total < n {
+		s := rng.Choice(dedupSizeWeights) + 1
+		if total+s > n {
+			s = n - total
+		}
+		sizes = append(sizes, s)
+		total += s
+	}
+	offs := make([]int, len(sizes)+1)
+	for i, s := range sizes {
+		offs[i+1] = offs[i] + s
+	}
+
+	c := &DedupCorpus{
+		Records:  make([]record.Record, n),
+		Truth:    make(map[string]string, n),
+		Entities: len(sizes),
+		Schema: record.Schema{
+			Names: []string{"title", "brand", "model", "price"},
+			Types: []record.AttrType{record.AttrText, record.AttrShort, record.AttrShort, record.AttrNumeric},
+		},
+	}
+
+	// One entity per job: generate the canonical values, then each
+	// occurrence as an independently corrupted view.
+	_ = par.Do(len(sizes), workers, func(e int) error {
+		erng := rng.Split("entity:" + strconv.Itoa(e))
+		vals := dedupEntity(erng, e)
+		for v := 0; v < sizes[e]; v++ {
+			vrng := erng.Split("view:" + strconv.Itoa(v))
+			out := make([]string, len(vals))
+			for a, val := range vals {
+				p := dedupProfile
+				if a == 0 {
+					p.MissingValue = 0 // the title always identifies the entity
+				}
+				out[a] = corruptValue(val, p, vrng)
+			}
+			idx := offs[e] + v
+			c.Records[idx] = record.Record{ID: fmt.Sprintf("d%d-%d", e, v), Values: out}
+		}
+		return nil
+	})
+
+	// Shuffle so duplicates are not adjacent; a blocker that exploited
+	// generation order would be cheating.
+	perm := rng.Split("shuffle").Perm(n)
+	shuffled := make([]record.Record, n)
+	for i, j := range perm {
+		shuffled[i] = c.Records[j]
+	}
+	c.Records = shuffled
+	for _, r := range c.Records {
+		c.Truth[r.ID] = "e" + strings.SplitN(strings.TrimPrefix(r.ID, "d"), "-", 2)[0]
+	}
+	return c
+}
+
+// dedupEntity draws one canonical product. The serial is folded into the
+// model code in full (no modulus), so entities are distinct across corpora
+// of any size.
+func dedupEntity(rng *stats.RNG, serial int) entity {
+	brand := pick(rng, productBrands)
+	kind := pick(rng, productTypes)
+	model := dedupModelCode(rng, serial)
+	adj := pick(rng, productAdjectives)
+	title := fmt.Sprintf("%s %s %s %s", brand, adj, kind, model)
+	price := fmt.Sprintf("$%d.%02d", 9+rng.Intn(990), rng.Intn(100))
+	return entity{title, brand, model, price}
+}
+
+// dedupModelCode encodes the full entity serial in base-36 plus two random
+// letters, guaranteeing uniqueness without a birthday bound.
+func dedupModelCode(rng *stats.RNG, serial int) string {
+	letters := "abcdefghjkmnpqrstuvwx"
+	l1 := letters[rng.Intn(len(letters))]
+	l2 := letters[rng.Intn(len(letters))]
+	return fmt.Sprintf("%c%c-%s", l1, l2, strconv.FormatInt(int64(serial), 36))
+}

@@ -1,0 +1,116 @@
+package datasets
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDedupCorpusExactSizeAndTruth(t *testing.T) {
+	for _, n := range []int{1, 2, 37, 1000} {
+		c := GenerateDedupCorpus(n, 5, 0)
+		if len(c.Records) != n {
+			t.Fatalf("n=%d: got %d records", n, len(c.Records))
+		}
+		if len(c.Truth) != n {
+			t.Fatalf("n=%d: truth has %d entries", n, len(c.Truth))
+		}
+		entities := make(map[string]int)
+		for _, r := range c.Records {
+			e, ok := c.Truth[r.ID]
+			if !ok {
+				t.Fatalf("record %s missing from truth", r.ID)
+			}
+			// The entity key is recoverable from the ID prefix; both paths
+			// must agree.
+			want := "e" + strings.SplitN(strings.TrimPrefix(r.ID, "d"), "-", 2)[0]
+			if e != want {
+				t.Fatalf("record %s: truth %s, ID implies %s", r.ID, e, want)
+			}
+			entities[e]++
+			if len(r.Values) != len(c.Schema.Names) {
+				t.Fatalf("record %s has %d values, schema %d", r.ID, len(r.Values), len(c.Schema.Names))
+			}
+		}
+		if len(entities) != c.Entities {
+			t.Fatalf("n=%d: %d distinct entities, reported %d", n, len(entities), c.Entities)
+		}
+	}
+}
+
+func TestDedupCorpusDeterministicAcrossWorkers(t *testing.T) {
+	base := GenerateDedupCorpus(3000, 9, 1)
+	for _, workers := range []int{2, 8} {
+		c := GenerateDedupCorpus(3000, 9, workers)
+		if len(c.Records) != len(base.Records) {
+			t.Fatalf("workers=%d: size differs", workers)
+		}
+		for i := range c.Records {
+			if c.Records[i].ID != base.Records[i].ID {
+				t.Fatalf("workers=%d: record %d is %s, want %s", workers, i, c.Records[i].ID, base.Records[i].ID)
+			}
+			for a := range c.Records[i].Values {
+				if c.Records[i].Values[a] != base.Records[i].Values[a] {
+					t.Fatalf("workers=%d: record %s attr %d differs:\n  %q\n  %q",
+						workers, c.Records[i].ID, a, c.Records[i].Values[a], base.Records[i].Values[a])
+				}
+			}
+		}
+	}
+}
+
+func TestDedupCorpusSeedsDiffer(t *testing.T) {
+	a := GenerateDedupCorpus(500, 1, 0)
+	b := GenerateDedupCorpus(500, 2, 0)
+	same := 0
+	for i := range a.Records {
+		if a.Records[i].Values[0] == b.Records[i].Values[0] {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("seeds 1 and 2 share %d/500 titles", same)
+	}
+}
+
+func TestDedupCorpusShuffled(t *testing.T) {
+	c := GenerateDedupCorpus(2000, 3, 0)
+	adjacentDups := 0
+	for i := 1; i < len(c.Records); i++ {
+		if c.Truth[c.Records[i].ID] == c.Truth[c.Records[i-1].ID] {
+			adjacentDups++
+		}
+	}
+	// Generation order would put every duplicate next to its sibling;
+	// after the shuffle only a few collisions should remain.
+	if adjacentDups > 40 {
+		t.Fatalf("%d adjacent duplicate pairs — corpus not shuffled", adjacentDups)
+	}
+}
+
+func TestDedupTruthPairs(t *testing.T) {
+	c := GenerateDedupCorpus(1000, 7, 0)
+	pairs := c.TruthPairs()
+	if len(pairs) == 0 {
+		t.Fatal("corpus has no duplicate pairs")
+	}
+	for k := range pairs {
+		if c.Truth[k[0]] != c.Truth[k[1]] {
+			t.Fatalf("truth pair %v spans entities %s and %s", k, c.Truth[k[0]], c.Truth[k[1]])
+		}
+		if pairs[[2]string{k[1], k[0]}] && k[0] != k[1] {
+			t.Fatalf("pair %v present in both orientations", k)
+		}
+	}
+	// Sum over entity sizes must reproduce the pair count.
+	sizes := make(map[string]int)
+	for _, e := range c.Truth {
+		sizes[e]++
+	}
+	want := 0
+	for _, s := range sizes {
+		want += s * (s - 1) / 2
+	}
+	if len(pairs) != want {
+		t.Fatalf("%d truth pairs, entity sizes imply %d", len(pairs), want)
+	}
+}

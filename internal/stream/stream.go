@@ -31,6 +31,20 @@ type ScorerFunc func(a, b record.Record) float64
 // ScorePair implements PairScorer.
 func (f ScorerFunc) ScorePair(a, b record.Record) float64 { return f(a, b) }
 
+// CandidateSource is a pluggable incremental candidate index for the
+// ingestor. The built-in source is the rare-token inverted index below;
+// the MinHash/LSH index (internal/blocking/lsh.StreamSource) plugs in the
+// sublinear alternative for high-volume feeds. Implementations see records
+// in arrival order: Candidates for record i is always called before Add(i).
+type CandidateSource interface {
+	// Add indexes r under the ingestor-assigned record index idx.
+	// Indices arrive strictly sequentially from zero.
+	Add(r record.Record, idx int)
+	// AppendCandidates appends the indices of at most max candidate
+	// records for r (best first) to dst and returns it.
+	AppendCandidates(dst []int, r record.Record, max int) []int
+}
+
 // Config tunes the ingestor.
 type Config struct {
 	// MatchThreshold is the probability above which an arriving record
@@ -40,11 +54,15 @@ type Config struct {
 	// arrival.
 	MaxCandidates int
 	// MinSharedTokens is the minimum number of shared index tokens for a
-	// candidate to be scored at all.
+	// candidate to be scored at all (built-in source only).
 	MinSharedTokens int
 	// MaxIndexedPerToken caps a token's posting list; hotter tokens stop
-	// indexing new postings (they no longer discriminate).
+	// indexing new postings (they no longer discriminate; built-in
+	// source only).
 	MaxIndexedPerToken int
+	// Candidates, when non-nil, replaces the built-in rare-token
+	// inverted index as the candidate source.
+	Candidates CandidateSource
 }
 
 // DefaultConfig returns ingestion defaults tuned for product-style feeds.
@@ -85,12 +103,14 @@ type Arrival struct {
 type Ingestor struct {
 	cfg    Config
 	scorer PairScorer
+	src    CandidateSource
 
-	index    map[string][]int // token -> record indices
 	records  []record.Record
 	entityOf []int // record index -> entity index
 	entities []*Entity
 	arrivals int
+
+	candBuf []int // reused candidate-index scratch
 }
 
 // NewIngestor returns an empty ingestor over the given scorer.
@@ -104,10 +124,17 @@ func NewIngestor(scorer PairScorer, cfg Config) *Ingestor {
 	if cfg.MaxIndexedPerToken <= 0 {
 		cfg.MaxIndexedPerToken = DefaultConfig().MaxIndexedPerToken
 	}
+	src := cfg.Candidates
+	if src == nil {
+		src = &tokenSource{
+			cfg:   cfg,
+			index: make(map[string][]int),
+		}
+	}
 	return &Ingestor{
 		cfg:    cfg,
 		scorer: scorer,
-		index:  make(map[string][]int),
+		src:    src,
 	}
 }
 
@@ -118,44 +145,19 @@ func (g *Ingestor) Ingest(r record.Record) Arrival {
 	if r.ID == "" {
 		r.ID = fmt.Sprintf("stream-%d", g.arrivals)
 	}
-	toks := indexTokens(r)
 
-	// Retrieve candidates by shared-token count.
-	counts := make(map[int]int)
-	for _, t := range toks {
-		for _, idx := range g.index[t] {
-			counts[idx]++
-		}
-	}
-	type cand struct {
-		idx    int
-		shared int
-	}
-	var cands []cand
-	for idx, n := range counts {
-		if n >= g.cfg.MinSharedTokens {
-			cands = append(cands, cand{idx, n})
-		}
-	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].shared != cands[b].shared {
-			return cands[a].shared > cands[b].shared
-		}
-		return cands[a].idx < cands[b].idx
-	})
-	if len(cands) > g.cfg.MaxCandidates {
-		cands = cands[:g.cfg.MaxCandidates]
-	}
+	g.candBuf = g.src.AppendCandidates(g.candBuf[:0], r, g.cfg.MaxCandidates)
+	cands := g.candBuf
 
 	// Score candidates; best match wins.
 	arrival := Arrival{RecordID: r.ID, CandidatesScored: len(cands)}
 	bestEntity := -1
 	for _, c := range cands {
-		score := g.scorer.ScorePair(g.records[c.idx], r)
+		score := g.scorer.ScorePair(g.records[c], r)
 		if score > arrival.Score {
 			arrival.Score = score
 			if score >= g.cfg.MatchThreshold {
-				bestEntity = g.entityOf[c.idx]
+				bestEntity = g.entityOf[c]
 			}
 		}
 	}
@@ -163,11 +165,7 @@ func (g *Ingestor) Ingest(r record.Record) Arrival {
 	// Register the record.
 	recIdx := len(g.records)
 	g.records = append(g.records, r)
-	for _, t := range toks {
-		if len(g.index[t]) < g.cfg.MaxIndexedPerToken {
-			g.index[t] = append(g.index[t], recIdx)
-		}
-	}
+	g.src.Add(r, recIdx)
 
 	if bestEntity >= 0 {
 		g.entities[bestEntity].Records = append(g.entities[bestEntity].Records, r)
@@ -205,12 +203,69 @@ type Stats struct {
 
 // Stats returns the current counters.
 func (g *Ingestor) Stats() Stats {
+	keys := 0
+	if ks, ok := g.src.(interface{ Keys() int }); ok {
+		keys = ks.Keys()
+	}
 	return Stats{
 		Records:   len(g.records),
 		Entities:  len(g.entities),
 		Merged:    len(g.records) - len(g.entities),
-		IndexKeys: len(g.index),
+		IndexKeys: keys,
 	}
+}
+
+// tokenSource is the built-in CandidateSource: the incremental rare-token
+// inverted index the ingestor has always used, ranking candidates by
+// shared-token count (ties by arrival order).
+type tokenSource struct {
+	cfg   Config
+	index map[string][]int // token -> record indices
+}
+
+// Keys reports the number of distinct indexed tokens (Stats.IndexKeys).
+func (s *tokenSource) Keys() int { return len(s.index) }
+
+// Add implements CandidateSource.
+func (s *tokenSource) Add(r record.Record, idx int) {
+	for _, t := range indexTokens(r) {
+		if len(s.index[t]) < s.cfg.MaxIndexedPerToken {
+			s.index[t] = append(s.index[t], idx)
+		}
+	}
+}
+
+// AppendCandidates implements CandidateSource.
+func (s *tokenSource) AppendCandidates(dst []int, r record.Record, max int) []int {
+	counts := make(map[int]int)
+	for _, t := range indexTokens(r) {
+		for _, idx := range s.index[t] {
+			counts[idx]++
+		}
+	}
+	type cand struct {
+		idx    int
+		shared int
+	}
+	var cands []cand
+	for idx, n := range counts {
+		if n >= s.cfg.MinSharedTokens {
+			cands = append(cands, cand{idx, n})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].shared != cands[b].shared {
+			return cands[a].shared > cands[b].shared
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	for _, c := range cands {
+		dst = append(dst, c.idx)
+	}
+	return dst
 }
 
 // indexTokens selects the tokens worth indexing for a record: deduplicated

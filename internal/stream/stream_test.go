@@ -101,7 +101,7 @@ func TestIndexHotTokenCap(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		g.Ingest(record.Record{ID: fmt.Sprintf("x%d", i), Values: []string{fmt.Sprintf("common brand product %d", i)}})
 	}
-	for token, postings := range g.index {
+	for token, postings := range g.src.(*tokenSource).index {
 		if len(postings) > 4 {
 			t.Fatalf("token %q posting list grew past the cap: %d", token, len(postings))
 		}

@@ -265,6 +265,44 @@ func intersectHashes(a, b []uint64) int {
 	return n
 }
 
+// JaccardIDs is the raw merge-join Jaccard kernel over two ascending
+// unique interned-ID slices — the verification primitive callers that
+// manage their own ID sets (the LSH blocker's bucket-collision check)
+// apply without materialising full Profiles. TokenJaccardP(a, b) equals
+// JaccardIDs(a.SortedIDs, b.SortedIDs) by construction.
+func JaccardIDs(a, b []uint32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := intersectIDs(a, b)
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+// TokenHash is the stable 64-bit fingerprint of one token (FNV-1a, the
+// same hash the trigram profiles use). Unlike interner IDs — which are
+// assigned in first-encounter order and therefore depend on process
+// history and goroutine scheduling — a token's fingerprint is a pure
+// function of its bytes, so structures keyed on it (the LSH blocker's
+// MinHash signatures) are reproducible across runs and worker counts.
+func TokenHash(tok string) uint64 { return fnv64a(tok) }
+
+// JaccardHashes is the merge-join Jaccard kernel over two ascending
+// unique fingerprint slices (see TokenHash) — the same verification
+// primitive as JaccardIDs on the scheduling-independent key space.
+func JaccardHashes(a, b []uint64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := intersectHashes(a, b)
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
 // TokenJaccardP is the profile form of TokenJaccard: Jaccard similarity
 // of the word-token sets, via a merge join over the sorted interned IDs.
 func TokenJaccardP(a, b *Profile) float64 {
