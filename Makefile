@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json bench-json-serve bench-json-obs bench-json-snap bench-json-wire bench-json-dedup wire-alloc-gate verify-parallel vet serve-smoke loadgen-report trace-demo snap-verify dedup-smoke
+.PHONY: build test bench bench-json bench-json-serve bench-json-obs bench-json-snap bench-json-wire bench-json-dedup bench-json-route wire-alloc-gate verify-parallel vet serve-smoke route-smoke loadgen-report trace-demo snap-verify dedup-smoke
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,23 @@ bench-json-dedup:
 	cat /tmp/bench-dedup.txt | $(GO) run ./cmd/benchjson -zero 'DedupProbeStored' > BENCH_pr7.json
 	@cat BENCH_pr7.json
 
+# Routing hot-path benchmark: the all-cheap cascade path (free tier
+# decides, no escalation) is gated at 0 allocs/op, recorded as JSON for
+# regression tracking (see EXPERIMENTS.md "Quality-vs-dollars frontier").
+bench-json-route:
+	$(GO) test -run '^$$' -bench 'RouteAllCheap' \
+		-benchtime=1s -benchmem ./internal/route | $(GO) run ./cmd/benchjson -zero 'RouteAllCheap' > BENCH_pr8.json
+	@cat BENCH_pr8.json
+
+# Resilient-routing gate: backend simulator, breaker/retry/router unit
+# tests, the routed serving path, then an emroute sweep whose -smoke
+# self-checks enforce the frontier's invariants (threshold-0 offline
+# bit-identity, monotone clean cost, charged failures, injected retries).
+route-smoke:
+	$(GO) test ./internal/backend/ ./internal/route/ ./cmd/emroute/ -run .
+	$(GO) test ./internal/serve/ -run 'Routed|ShedErrorsTyped'
+	$(GO) run ./cmd/emroute -targets ABT -tiers stringsim,gpt-4 -max-pairs 400 -smoke
+
 # End-to-end dedup gate: unit tests for the LSH index, corpus generator
 # and pipeline, then an emdedup self-check run (-smoke exits non-zero if
 # blocking recall, cluster F1 or the comparison advantage fall below their
@@ -108,9 +125,12 @@ snap-verify:
 # wire-alloc-gate so the zero-copy binary path cannot silently regress,
 # and the dedup-smoke gate so the dataset-scale blocking pipeline keeps
 # its recall/quality/comparison floors. The race list includes the LSH
-# index and the dedup pipeline (concurrent build/probe workers).
-verify-parallel: vet snap-verify wire-alloc-gate dedup-smoke
-	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/record/... ./internal/textsim/... ./internal/lm/... ./internal/eval/... ./internal/core/... ./internal/serve/... ./internal/snap/... ./internal/blocking/... ./internal/dedup/... ./internal/stream/...
+# index and the dedup pipeline (concurrent build/probe workers), and the
+# routing stack (internal/backend simulators, internal/route breakers and
+# routers shared across serving workers); the route-smoke gate covers the
+# cascade end to end.
+verify-parallel: vet snap-verify wire-alloc-gate dedup-smoke route-smoke
+	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/record/... ./internal/textsim/... ./internal/lm/... ./internal/eval/... ./internal/core/... ./internal/serve/... ./internal/snap/... ./internal/blocking/... ./internal/dedup/... ./internal/stream/... ./internal/backend/... ./internal/route/...
 
 # Allocation gate for the zero-copy serving hot path. Runs without -race
 # (the race detector defeats sync.Pool, making allocs/op meaningless):

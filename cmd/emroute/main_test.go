@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The sweep's output must be byte-identical at any -parallel level: arms
+// are independent routers on independent virtual clocks, and every
+// injected outcome is a pure function of (seed, backend, pair, attempt).
+func TestSweepParallelByteIdentity(t *testing.T) {
+	base := sweepConfig{
+		Targets:    "ABT",
+		Tiers:      "stringsim,gpt-4",
+		Thresholds: "0,0.3,0.5,0.7",
+		Inject:     "both",
+		Seed:       3,
+		MaxPairs:   120,
+		Smoke:      true,
+	}
+	var seq, par bytes.Buffer
+	cfgSeq := base
+	cfgSeq.Parallel = 1
+	if err := run(cfgSeq, &seq); err != nil {
+		t.Fatal(err)
+	}
+	cfgPar := base
+	cfgPar.Parallel = 2
+	if err := run(cfgPar, &par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("sweep output differs across -parallel levels:\n--- parallel=1 ---\n%s\n--- parallel=2 ---\n%s",
+			seq.String(), par.String())
+	}
+	if !bytes.Contains(seq.Bytes(), []byte("SMOKE OK")) {
+		t.Fatalf("smoke checks did not pass:\n%s", seq.String())
+	}
+}
+
+// Threshold parsing rejects malformed and non-ascending lists.
+func TestParseThresholds(t *testing.T) {
+	if got, err := parseThresholds("0, 0.5 ,1"); err != nil || len(got) != 3 {
+		t.Fatalf("parseThresholds = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "x", "0.5,0.3", "0,,"} {
+		if _, err := parseThresholds(bad); err == nil && bad != "0,," {
+			t.Errorf("parseThresholds(%q) accepted", bad)
+		}
+	}
+}

@@ -13,6 +13,7 @@
 //	emserve -matcher ditto -store /var/lib/emserve/snapshots
 //	emserve -matcher stringsim -loadgen -qps 0 -duration 5s
 //	emserve -matcher stringsim -loadgen -proto binary
+//	emserve -route stringsim,anymatch-gpt2,gpt-4 -route-confidence 0.5
 //	emserve -matcher stringsim -smoke
 //
 // Endpoints:
@@ -44,11 +45,14 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/backend"
+	"repro/internal/cost"
 	"repro/internal/datasets"
 	"repro/internal/eval"
 	"repro/internal/matchers"
 	"repro/internal/obs"
 	"repro/internal/record"
+	"repro/internal/route"
 	"repro/internal/serve"
 	"repro/internal/snap"
 	"repro/internal/stats"
@@ -79,6 +83,10 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "loadgen: print the report as JSON")
 		proto    = flag.String("proto", serve.ProtoJSON, "loadgen request protocol: json or binary")
 
+		routeTiers = flag.String("route", "", "serve through a resilient cascade instead of one matcher: comma-separated tiers, cheap to expensive (e.g. stringsim,anymatch-gpt2,gpt-4)")
+		routeConf  = flag.Float64("route-confidence", 0.5, "cascade confidence threshold: pairs below it escalate to the next tier")
+		routeInj   = flag.Bool("route-inject", false, "inject each tier's failure profile (latency tails, faults, rate limits) instead of clean backends")
+
 		smoke = flag.Bool("smoke", false, "start, self-check /healthz and /match, exit")
 
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in)")
@@ -92,7 +100,8 @@ func main() {
 	}
 	if err := run(runConfig{
 		addr: *addr, matcher: *matcherName, seed: *seed, parallel: *parallel,
-		store:   *storeDir,
+		store:      *storeDir,
+		routeTiers: *routeTiers, routeConf: *routeConf, routeInject: *routeInj,
 		loadgen: *loadgen, qps: *qps, duration: *duration, conc: *conc,
 		perReq: *perReq, dataset: *dataset, jsonOut: *jsonOut, proto: *proto,
 		smoke: *smoke,
@@ -122,6 +131,10 @@ type runConfig struct {
 	store    string
 	serveCfg serve.Config
 
+	routeTiers  string
+	routeConf   float64
+	routeInject bool
+
 	loadgen  bool
 	qps      float64
 	duration time.Duration
@@ -137,7 +150,21 @@ type runConfig struct {
 }
 
 func run(cfg runConfig) error {
-	m, startup, reg, err := loadMatcher(cfg.matcher, cfg.seed, cfg.parallel, cfg.store)
+	var (
+		m       matchers.Matcher
+		startup *serve.StartupInfo
+		reg     *obs.Registry
+		err     error
+	)
+	if cfg.routeTiers != "" {
+		// Routed serving: the dispatcher hands batches to the cascade
+		// router instead of the single matcher, so the served "matcher" is
+		// tier 0 and the snapshot store does not apply.
+		m, cfg.serveCfg.Router, err = buildRouter(cfg)
+		startup = &serve.StartupInfo{}
+	} else {
+		m, startup, reg, err = loadMatcher(cfg.matcher, cfg.seed, cfg.parallel, cfg.store)
+	}
 	if err != nil {
 		return err
 	}
@@ -285,6 +312,60 @@ func loadMatcher(name string, seed uint64, parallel int, storeDir string) (match
 			info.TrainSeconds, hash)
 	}
 	return m, info, reg, nil
+}
+
+// buildRouter assembles the -route cascade: each tier resolved by name,
+// fine-tuned tiers trained once on the built-in transfer library, every
+// tier priced through the fail-closed Table-6 rate lookup and wrapped in
+// its simulated provider profile (clean unless -route-inject). The
+// returned matcher is tier 0 — the identity the server advertises and
+// keys its prediction cache on.
+func buildRouter(cfg runConfig) (matchers.Matcher, *route.Router, error) {
+	names := strings.Split(cfg.routeTiers, ",")
+	backends := make([]backend.Backend, 0, len(names))
+	var tier0 matchers.Matcher
+	rng := stats.NewRNG(cfg.seed)
+	var library []*record.Dataset
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		m, needsTraining, err := matchers.ByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		rate, err := cost.RateForMatcher(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if needsTraining {
+			if library == nil {
+				library = datasets.GenerateAllParallel(eval.DatasetSeed, cfg.parallel)
+			}
+			fmt.Fprintf(os.Stderr, "emserve: training cascade tier %s...\n", m.Name())
+			start := time.Now()
+			m.Train(library, rng.Split("train:"+name))
+			fmt.Fprintf(os.Stderr, "emserve: trained in %.1fs\n", time.Since(start).Seconds())
+		} else {
+			m.Train(nil, rng.Split("train:"+name))
+		}
+		p := backend.ProfileFor(name)
+		if !cfg.routeInject {
+			p = p.Clean()
+		}
+		backends = append(backends, backend.NewSim(name, m, p, rate, cfg.seed))
+		if tier0 == nil {
+			tier0 = m
+		}
+	}
+	r, err := route.New(route.Config{
+		Confidence: cfg.routeConf,
+		Deadline:   cfg.serveCfg.DefaultDeadline,
+	}, backends...)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "emserve: routing cascade %s (confidence %.2f, inject=%v)\n",
+		strings.Join(names, " -> "), cfg.routeConf, cfg.routeInject)
+	return tier0, r, nil
 }
 
 // runLoadGen replays one benchmark dataset's pairs through the serving

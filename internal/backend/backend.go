@@ -1,0 +1,74 @@
+// Package backend puts the study's matchers behind a provider-style
+// Backend interface — the abstraction a production matching service needs
+// once its models stop being in-process function calls and start being
+// remote providers that time out, rate-limit and fail.
+//
+// The package has two halves:
+//
+//   - Typed serving errors (ErrOverloaded, ErrUnavailable, ErrDeadline)
+//     shared across layers: the HTTP admission path in internal/serve
+//     wraps its 429/503 shed signals around them, and the router in
+//     internal/route classifies retryable versus terminal attempts with
+//     them — so both layers always agree on what is worth retrying.
+//
+//   - Sim, a Backend that wraps any study matcher in an injectable,
+//     seed-deterministic latency/failure/rate-limit Profile. Every
+//     injected outcome is a pure function of (seed, backend name, pair
+//     bytes, attempt number), never of wall time or call interleaving, so
+//     a routing experiment replays bit-identically at any parallelism —
+//     the property the emroute quality-vs-dollars frontier is built on.
+package backend
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/matchers"
+)
+
+// Typed backend errors. Error wrapping (errors.Is) is the contract: any
+// layer that sheds or fails wraps one of these, and any layer that
+// retries classifies against them.
+var (
+	// ErrOverloaded is a retryable rejection at the door: the backend (or
+	// the local admission queue in front of it) is at capacity right now.
+	// On the wire this is a 429.
+	ErrOverloaded = errors.New("backend: overloaded")
+	// ErrUnavailable is a retryable transient failure: the call died
+	// mid-flight and the next attempt may well succeed. On the wire this
+	// is a 503.
+	ErrUnavailable = errors.New("backend: unavailable")
+	// ErrDeadline is terminal: the request's latency budget is spent and
+	// no retry can answer in time. On the wire this is a 503 with no
+	// Retry-After.
+	ErrDeadline = errors.New("backend: deadline exceeded")
+)
+
+// Retryable classifies an attempt error: overload and transient
+// unavailability are worth retrying with backoff; everything else —
+// spent deadlines, open circuit breakers, programming errors — is
+// terminal for the backend that produced it.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrOverloaded) || errors.Is(err, ErrUnavailable)
+}
+
+// Backend is one matcher behind a failure model: the unit the routing
+// layer retries against, trips breakers on, hedges across and charges
+// dollars to.
+type Backend interface {
+	// Name is the registry matcher name this backend serves (the name
+	// cmd/emmatch and cmd/emserve use).
+	Name() string
+	// RatePer1K is the Table-6 dollar rate per 1,000 input tokens charged
+	// for every attempt against this backend, successful or not.
+	RatePer1K() float64
+	// Predict classifies task's pairs into out (length len(task.Pairs)).
+	// When conf is non-nil and the underlying matcher can score decision
+	// confidence, conf[i] receives a value in [0,1]; conf[i] = -1 marks
+	// "no confidence available". attempt distinguishes retries and hedges
+	// of the same logical call, so injected failures are per-attempt
+	// deterministic. The returned duration is the simulated provider
+	// latency of the attempt (failed attempts report the latency they
+	// wasted); out and conf are valid only when the error is nil.
+	Predict(task matchers.Task, attempt uint64, out []bool, conf []float64) (time.Duration, error)
+}

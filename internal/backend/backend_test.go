@@ -1,0 +1,207 @@
+package backend
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/eval"
+	"repro/internal/matchers"
+	"repro/internal/record"
+	"repro/internal/stats"
+)
+
+// beerPairs returns the first n candidate pairs of the BEER dataset.
+func beerPairs(tb testing.TB, n int) []record.Pair {
+	tb.Helper()
+	d := datasets.MustGenerate("BEER", eval.DatasetSeed)
+	if n > len(d.Pairs) {
+		n = len(d.Pairs)
+	}
+	pairs := make([]record.Pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = d.Pairs[i].Pair
+	}
+	return pairs
+}
+
+func trainedStringSim() matchers.Matcher {
+	m := matchers.NewStringSim()
+	m.Train(nil, stats.NewRNG(1))
+	return m
+}
+
+// A clean profile must be bit-identical to calling the matcher directly:
+// Sim only wraps the call in a failure model, it never touches the
+// decision path.
+func TestSimCleanDecisionIdentity(t *testing.T) {
+	m := trainedStringSim()
+	pairs := beerPairs(t, 64)
+	task := matchers.Task{Pairs: pairs}
+	want := m.Predict(task)
+
+	b := NewSim("stringsim", m, ProfileLLM.Clean(), 0, 99)
+	out := make([]bool, len(pairs))
+	conf := make([]float64, len(pairs))
+	lat, err := b.Predict(task, 1, out, conf)
+	if err != nil {
+		t.Fatalf("clean profile errored: %v", err)
+	}
+	if lat <= 0 {
+		t.Fatalf("latency = %v, want > 0", lat)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("pair %d: sim decision %v != direct decision %v", i, out[i], want[i])
+		}
+		if conf[i] < 0 || conf[i] > 1 {
+			t.Fatalf("pair %d: confidence %g outside [0,1]", i, conf[i])
+		}
+	}
+}
+
+// Injected outcomes are pure functions of (seed, name, pair bytes,
+// attempt): two independently built Sims replay the same trajectory, and
+// changing the seed changes it.
+func TestSimDeterminism(t *testing.T) {
+	m := trainedStringSim()
+	pairs := beerPairs(t, 32)
+
+	type outcome struct {
+		lat time.Duration
+		err error
+	}
+	run := func(seed uint64) []outcome {
+		b := NewSim("stringsim", m, ProfileLLM, 0, seed)
+		out := make([]bool, 1)
+		var res []outcome
+		for _, p := range pairs {
+			task := matchers.Task{Pairs: []record.Pair{p}}
+			for attempt := uint64(1); attempt <= 3; attempt++ {
+				lat, err := b.Predict(task, attempt, out, nil)
+				res = append(res, outcome{lat, err})
+			}
+		}
+		return res
+	}
+
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d diverged under the same seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("changing the seed left every outcome identical")
+	}
+}
+
+// With failure injection on, both retryable error kinds must show up,
+// and attempts of the same call must draw independently (a rate-limited
+// first attempt does not doom the retry).
+func TestSimFailureInjection(t *testing.T) {
+	m := trainedStringSim()
+	pairs := beerPairs(t, 64)
+	p := Profile{
+		Name: "flaky", BaseLatency: time.Millisecond,
+		FailRate: 0.3, RateLimitRate: 0.3,
+	}
+	b := NewSim("stringsim", m, p, 0, 5)
+	out := make([]bool, 1)
+	var overloaded, unavailable, ok int
+	for _, pr := range pairs {
+		task := matchers.Task{Pairs: []record.Pair{pr}}
+		for attempt := uint64(1); attempt <= 4; attempt++ {
+			_, err := b.Predict(task, attempt, out, nil)
+			switch {
+			case err == nil:
+				ok++
+			case errors.Is(err, ErrOverloaded):
+				overloaded++
+			case errors.Is(err, ErrUnavailable):
+				unavailable++
+			default:
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+		}
+	}
+	if overloaded == 0 || unavailable == 0 || ok == 0 {
+		t.Fatalf("outcome mix overloaded=%d unavailable=%d ok=%d; want all three represented",
+			overloaded, unavailable, ok)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	if !Retryable(ErrOverloaded) || !Retryable(ErrUnavailable) {
+		t.Error("overload and unavailability must be retryable")
+	}
+	if Retryable(ErrDeadline) {
+		t.Error("a spent deadline must be terminal")
+	}
+	if Retryable(errors.New("boom")) || Retryable(nil) {
+		t.Error("unknown errors and nil must be terminal")
+	}
+}
+
+func TestProfileClean(t *testing.T) {
+	c := ProfileLLM.Clean()
+	if c.FailRate != 0 || c.RateLimitRate != 0 || c.TailRate != 0 {
+		t.Fatalf("Clean() kept injection rates: %+v", c)
+	}
+	if c.BaseLatency != ProfileLLM.BaseLatency || c.Jitter != ProfileLLM.Jitter {
+		t.Fatalf("Clean() changed the latency envelope: %+v", c)
+	}
+}
+
+func TestProfileFor(t *testing.T) {
+	cases := map[string]string{
+		"stringsim":      ProfileReliable.Name,
+		"zeroer":         ProfileReliable.Name,
+		"ditto":          ProfileSLM.Name,
+		"anymatch-llama": ProfileSLM.Name,
+		"gpt-4":          ProfileLLM.Name,
+		"mixtral":        ProfileLLM.Name,
+	}
+	for name, want := range cases {
+		if got := ProfileFor(name).Name; got != want {
+			t.Errorf("ProfileFor(%s) = %s, want %s", name, got, want)
+		}
+	}
+}
+
+// A matcher without a confidence scorer must mark every conf slot -1,
+// never leave stale values behind. opaqueMatcher hides the wrapped
+// matcher's ConfidenceScorer by exposing only the Matcher methods.
+type opaqueMatcher struct{ m matchers.Matcher }
+
+func (o opaqueMatcher) Name() string            { return o.m.Name() }
+func (o opaqueMatcher) ParamsMillions() float64 { return o.m.ParamsMillions() }
+func (o opaqueMatcher) Train(tr []*record.Dataset, rng *stats.RNG) {
+	o.m.Train(tr, rng)
+}
+func (o opaqueMatcher) Predict(task matchers.Task) []bool { return o.m.Predict(task) }
+
+func TestSimNoConfidenceScorer(t *testing.T) {
+	m := opaqueMatcher{trainedStringSim()}
+	b := NewSim("stringsim", m, ProfileReliable.Clean(), 0, 1)
+	pairs := beerPairs(t, 4)
+	out := make([]bool, len(pairs))
+	conf := []float64{0.5, 0.5, 0.5, 0.5}
+	if _, err := b.Predict(matchers.Task{Pairs: pairs}, 1, out, conf); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range conf {
+		if c != -1 {
+			t.Fatalf("conf[%d] = %g, want -1 sentinel", i, c)
+		}
+	}
+}

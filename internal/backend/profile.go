@@ -1,0 +1,112 @@
+package backend
+
+import "time"
+
+// Profile is an injectable latency/failure/rate-limit model for a
+// backend. All rates are per-attempt probabilities in [0,1]; all draws
+// are deterministic functions of (seed, backend, pairs, attempt) — see
+// the package comment.
+type Profile struct {
+	// Name labels the profile in reports ("reliable", "llm", ...).
+	Name string
+
+	// BaseLatency is the fixed per-call latency; PerPairLatency is added
+	// for every pair in the call. Jitter scales the total by a
+	// deterministic multiplier drawn uniformly from [1-Jitter, 1+Jitter].
+	BaseLatency    time.Duration
+	PerPairLatency time.Duration
+	Jitter         float64
+
+	// TailRate is the probability a successful call is a straggler taking
+	// TailFactor times its drawn latency — the p99 tail that makes
+	// hedging pay for itself.
+	TailRate   float64
+	TailFactor float64
+
+	// FailRate is the probability an attempt dies mid-flight with
+	// ErrUnavailable, wasting its full latency.
+	FailRate float64
+	// RateLimitRate is the probability an attempt is rejected at the door
+	// with ErrOverloaded — the provider-side 429. Rejections are fast:
+	// they cost ShedLatency, not the full call latency.
+	RateLimitRate float64
+	// ShedLatency is the round-trip cost of a rate-limit rejection;
+	// zero defaults to BaseLatency/10.
+	ShedLatency time.Duration
+}
+
+// Clean returns a copy of the profile with every failure mode switched
+// off — same latency envelope, no injected errors. The emroute sweep
+// runs each arm under both the injected and the clean profile so the
+// frontier shows what failures cost.
+func (p Profile) Clean() Profile {
+	p.TailRate = 0
+	p.FailRate = 0
+	p.RateLimitRate = 0
+	return p
+}
+
+// shedLatency returns the latency of a rate-limit rejection.
+func (p Profile) shedLatency() time.Duration {
+	if p.ShedLatency > 0 {
+		return p.ShedLatency
+	}
+	return p.BaseLatency / 10
+}
+
+// The built-in profiles mirror the paper's Tables 5–6 deployment
+// classes: the parameter-free baseline answers in microseconds and
+// never fails; the self-hosted SLM adds model latency and the
+// occasional hiccup; the proprietary-API LLM is slow, rate-limited and
+// visibly flaky — the backend the routing layer exists to tame.
+var (
+	// ProfileReliable models an in-process parameter-free matcher
+	// (StringSim): microseconds per pair, no failure modes.
+	ProfileReliable = Profile{
+		Name:           "reliable",
+		PerPairLatency: 40 * time.Microsecond,
+		Jitter:         0.10,
+	}
+
+	// ProfileSLM models a self-hosted fine-tuned SLM (Ditto, AnyMatch,
+	// Unicorn): a few milliseconds per call, rare transient failures.
+	ProfileSLM = Profile{
+		Name:           "slm",
+		BaseLatency:    2 * time.Millisecond,
+		PerPairLatency: 600 * time.Microsecond,
+		Jitter:         0.20,
+		TailRate:       0.01,
+		TailFactor:     4,
+		FailRate:       0.005,
+		RateLimitRate:  0.01,
+	}
+
+	// ProfileLLM models a proprietary LLM API ("gpt-4"-class): hundreds
+	// of milliseconds per call, a heavy straggler tail, and the 429/503
+	// weather the paper's cost tables never had to price.
+	ProfileLLM = Profile{
+		Name:           "llm",
+		BaseLatency:    300 * time.Millisecond,
+		PerPairLatency: 30 * time.Millisecond,
+		Jitter:         0.25,
+		TailRate:       0.02,
+		TailFactor:     8,
+		FailRate:       0.03,
+		RateLimitRate:  0.08,
+		ShedLatency:    20 * time.Millisecond,
+	}
+)
+
+// ProfileFor returns the built-in injected profile for a registry
+// matcher name: reliable for the parameter-free baselines, slm for the
+// fine-tuned SLMs, llm for the prompted models.
+func ProfileFor(matcherName string) Profile {
+	switch matcherName {
+	case "stringsim", "zeroer":
+		return ProfileReliable
+	case "ditto", "unicorn", "anymatch-gpt2", "anymatch-t5", "anymatch-llama":
+		return ProfileSLM
+	default:
+		return ProfileLLM
+	}
+}

@@ -74,7 +74,7 @@ func CostFor(model string, cluster Cluster) (CostResult, error) {
 	}
 	perf, ok := PerfByName(model)
 	if !ok {
-		return CostResult{}, fmt.Errorf("cost: unknown model %q", model)
+		return CostResult{}, fmt.Errorf("%w: unknown model %q", ErrNoRate, model)
 	}
 	tp := SimulateThroughput(perf, cluster)
 	selfCost := SelfHostedCostPer1K(tp.TokensPerSec)

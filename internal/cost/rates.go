@@ -1,0 +1,56 @@
+package cost
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrNoRate marks a rate lookup for a matcher or model with no Table-6
+// entry. Lookups fail closed with it: a silent zero rate would make an
+// unknown backend look free and corrupt every cost measurement built on
+// top (the routing frontier charges each attempt through this table).
+var ErrNoRate = errors.New("cost: no Table-6 rate entry")
+
+// matcherModel maps registry matcher names (the names cmd/emmatch,
+// cmd/emserve and cmd/emroute accept) to the Table-6 model priced for
+// one inference call. The empty string marks the parameter-free
+// matchers, whose per-call inference cost genuinely is zero.
+var matcherModel = map[string]string{
+	"stringsim":      "",
+	"zeroer":         "",
+	"ditto":          "BERT",
+	"unicorn":        "DeBERTa",
+	"anymatch-gpt2":  "GPT-2",
+	"anymatch-t5":    "T5",
+	"anymatch-llama": "LLaMA3.2",
+	"jellyfish":      "LLaMA2-13B",
+	"mixtral":        "Mixtral-8x7B",
+	"solar":          "SOLAR",
+	"beluga2":        "Beluga2",
+	"gpt-3.5-turbo":  "GPT-3.5-Turbo",
+	"gpt-4o-mini":    "GPT-4o-Mini",
+	"gpt-4":          "GPT-4",
+}
+
+// RateForMatcher returns the Table-6 serving rate, in dollars per 1,000
+// input tokens, for a registry matcher name: zero for the
+// parameter-free matchers, the cheapest-deployment rate otherwise. A
+// name with no Table-6 entry fails closed with ErrNoRate.
+//
+// Note the deliberate difference from the serving layer's PricingModel
+// registry field, which prices only the prompted matchers (per-token
+// fees dominate there): this lookup also charges the fine-tuned SLMs
+// their Table-6 self-hosting rate, because the routing layer's
+// quality-vs-dollars frontier has to see the cost of every escalation
+// tier, not only the top one.
+func RateForMatcher(name string) (float64, error) {
+	model, ok := matcherModel[strings.ToLower(name)]
+	if !ok {
+		return 0, fmt.Errorf("%w for matcher %q", ErrNoRate, name)
+	}
+	if model == "" {
+		return 0, nil
+	}
+	return ServingRate(model)
+}

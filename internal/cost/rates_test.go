@@ -1,0 +1,80 @@
+package cost
+
+import (
+	"errors"
+	"testing"
+)
+
+// The rate lookup must fail closed: an unknown matcher name returns a
+// typed error, never a silent zero — a zero rate would make a
+// misconfigured backend look free in the routing frontier.
+func TestRateForMatcherFailsClosed(t *testing.T) {
+	for _, name := range []string{"gpt4", "string-sim", "nonsense", ""} {
+		rate, err := RateForMatcher(name)
+		if err == nil {
+			t.Errorf("RateForMatcher(%q): want error, got rate %g", name, rate)
+			continue
+		}
+		if !errors.Is(err, ErrNoRate) {
+			t.Errorf("RateForMatcher(%q): error %v is not ErrNoRate", name, err)
+		}
+	}
+}
+
+func TestRateForMatcherKnownNames(t *testing.T) {
+	// Parameter-free matchers are genuinely free — zero with no error.
+	for _, name := range []string{"stringsim", "zeroer", "StringSim"} {
+		rate, err := RateForMatcher(name)
+		if err != nil || rate != 0 {
+			t.Errorf("RateForMatcher(%q) = %g, %v; want 0, nil", name, rate, err)
+		}
+	}
+	// Proprietary API models bill their Table-6 API price.
+	rate, err := RateForMatcher("gpt-4")
+	if err != nil {
+		t.Fatalf("RateForMatcher(gpt-4): %v", err)
+	}
+	if want := APIPrice["GPT-4"]; rate != want {
+		t.Errorf("RateForMatcher(gpt-4) = %g, want %g", rate, want)
+	}
+	// Fine-tuned SLMs bill a positive self-hosting rate — unlike the
+	// serving registry's PricingModel, which leaves them unpriced.
+	for _, name := range []string{"ditto", "unicorn", "anymatch-llama"} {
+		rate, err := RateForMatcher(name)
+		if err != nil {
+			t.Fatalf("RateForMatcher(%s): %v", name, err)
+		}
+		if rate <= 0 {
+			t.Errorf("RateForMatcher(%s) = %g, want > 0", name, rate)
+		}
+	}
+}
+
+// CostFor's unknown-model error is typed too, so every rate path in the
+// package classifies the same way.
+func TestCostForUnknownModelTyped(t *testing.T) {
+	_, err := CostFor("no-such-model", FourA100)
+	if !errors.Is(err, ErrNoRate) {
+		t.Errorf("CostFor unknown model: error %v is not ErrNoRate", err)
+	}
+	if _, err := ServingRate("no-such-model"); !errors.Is(err, ErrNoRate) {
+		t.Errorf("ServingRate unknown model: error %v is not ErrNoRate", err)
+	}
+}
+
+// Every registry matcher name must have a rate entry: a new matcher
+// added without a Table-6 mapping should fail this, not silently skew
+// the frontier.
+func TestRateForMatcherCoversRegistry(t *testing.T) {
+	names := []string{
+		"stringsim", "zeroer", "ditto", "unicorn",
+		"anymatch-gpt2", "anymatch-t5", "anymatch-llama",
+		"jellyfish", "mixtral", "solar", "beluga2",
+		"gpt-3.5-turbo", "gpt-4o-mini", "gpt-4",
+	}
+	for _, name := range names {
+		if _, err := RateForMatcher(name); err != nil {
+			t.Errorf("RateForMatcher(%s): %v", name, err)
+		}
+	}
+}

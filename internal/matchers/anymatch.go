@@ -158,6 +158,19 @@ func (m *AnyMatch) PredictBatchInto(task Task, out []bool) {
 	st.End()
 }
 
+// PredictConfidence implements ConfidenceScorer: the decision margin is
+// the MLP head's probability distance from the 0.5 threshold, with
+// decisions identical to PredictBatchInto's.
+func (m *AnyMatch) PredictConfidence(task Task, out []bool, conf []float64) {
+	var vec mlcore.SparseVec
+	for i, p := range task.Pairs {
+		m.enc.EncodeInto(&vec, p, task.Opts)
+		pr := m.head.Prob(vec)
+		out[i] = pr >= 0.5
+		conf[i] = decisionMargin(pr, 0.5)
+	}
+}
+
 // selectHard trains a booster on cheap similarity features over a slice of
 // the pool and returns the indices of misclassified (difficult) examples,
 // capped at PerClass.

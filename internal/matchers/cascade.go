@@ -52,10 +52,11 @@ func (m *Cascade) Train(transfer []*record.Dataset, rng *stats.RNG) {
 	m.Expensive.Train(transfer, rng)
 }
 
-// cheapScore is the stage-1 scorer: an unweighted blend of token and
-// character overlap of the serialized records — cheap enough to run at
-// StringSim cost.
-func cheapScore(p record.Pair, opts record.SerializeOptions) float64 {
+// CheapScore is the parameter-free stage-1 scorer: an unweighted blend
+// of token and character overlap of the serialized records — cheap
+// enough to run at StringSim cost. The routing layer reuses it as the
+// decision of last resort when every backend of a cascade has failed.
+func CheapScore(p record.Pair, opts record.SerializeOptions) float64 {
 	left := record.SerializeRecord(p.Left, opts)
 	right := record.SerializeRecord(p.Right, opts)
 	pl, pr := textsim.Shared().Get(left), textsim.Shared().Get(right)
@@ -68,7 +69,7 @@ func (m *Cascade) Predict(task Task) []bool {
 	var uncertainIdx []int
 	var uncertainPairs []record.Pair
 	for i, p := range task.Pairs {
-		s := cheapScore(p, task.Opts)
+		s := CheapScore(p, task.Opts)
 		switch {
 		case s < m.LowBand:
 			out[i] = false

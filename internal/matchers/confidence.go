@@ -1,0 +1,43 @@
+package matchers
+
+// ConfidenceScorer is implemented by matchers whose decision comes from
+// thresholding a continuous score — they can expose how far each pair's
+// score sat from the threshold. The routing layer (internal/route) uses
+// this margin as its cascade gate: confident cheap decisions stop at the
+// cheap tier, uncertain ones escalate.
+type ConfidenceScorer interface {
+	Matcher
+	// PredictConfidence classifies task's pairs into out and fills conf
+	// with per-pair confidences in [0,1]: 0 at the decision threshold (a
+	// coin flip), 1 at the score extremes. Decisions in out are
+	// bit-identical to Predict on the same task — confidence scoring
+	// must never change a decision. out and conf have len(task.Pairs).
+	PredictConfidence(task Task, out []bool, conf []float64)
+}
+
+// decisionMargin maps a decision score and its threshold to a
+// confidence in [0,1]: the score's distance from the threshold, scaled
+// by the distance to the nearer of the score range's ends so both sides
+// of the threshold use their full [0,1] range.
+func decisionMargin(score, threshold float64) float64 {
+	var m float64
+	if score >= threshold {
+		d := 1 - threshold
+		if d <= 0 {
+			return 1
+		}
+		m = (score - threshold) / d
+	} else {
+		if threshold <= 0 {
+			return 1
+		}
+		m = (threshold - score) / threshold
+	}
+	if m > 1 {
+		return 1
+	}
+	if m < 0 {
+		return 0
+	}
+	return m
+}

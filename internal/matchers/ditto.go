@@ -119,6 +119,19 @@ func (m *Ditto) PredictBatchInto(task Task, out []bool) {
 	st.End()
 }
 
+// PredictConfidence implements ConfidenceScorer: the decision margin is
+// the classification head's probability distance from the 0.5
+// threshold, with decisions identical to PredictBatchInto's.
+func (m *Ditto) PredictConfidence(task Task, out []bool, conf []float64) {
+	var vec mlcore.SparseVec
+	for i, p := range task.Pairs {
+		m.enc.EncodeInto(&vec, m.summarize(p), task.Opts)
+		pr := m.head.Prob(vec)
+		out[i] = pr >= 0.5
+		conf[i] = decisionMargin(pr, 0.5)
+	}
+}
+
 // summarize truncates each value to SummarizeAt tokens, Ditto's long-input
 // strategy for staying within the encoder's context window. Records whose
 // values are all within the budget — the overwhelmingly common case at

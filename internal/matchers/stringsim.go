@@ -60,3 +60,20 @@ func (m *StringSim) PredictBatchInto(task Task, out []bool) {
 	st.SetInt("classify", "pairs", int64(len(task.Pairs)))
 	st.End()
 }
+
+// PredictConfidence implements ConfidenceScorer: the decision margin is
+// the ratio's distance from the threshold. The exact ratio is always
+// computed here — the upper-bound skip only avoids work when the ratio
+// provably cannot exceed the threshold, so the decisions are identical
+// to Predict's.
+func (m *StringSim) PredictConfidence(task Task, out []bool, conf []float64) {
+	sc := textsim.AcquireScratch()
+	for i, p := range task.Pairs {
+		left := record.SerializeRecord(p.Left, task.Opts)
+		right := record.SerializeRecord(p.Right, task.Opts)
+		r := sc.RatcliffObershelp(left, right)
+		out[i] = r > m.Threshold
+		conf[i] = decisionMargin(r, m.Threshold)
+	}
+	sc.Release()
+}

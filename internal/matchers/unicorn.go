@@ -112,3 +112,16 @@ func (m *Unicorn) PredictBatchInto(task Task, out []bool) {
 	st.SetInt("classify", "pairs", int64(len(task.Pairs)))
 	st.End()
 }
+
+// PredictConfidence implements ConfidenceScorer: the decision margin is
+// the matching model's probability distance from the 0.5 threshold,
+// with decisions identical to PredictBatchInto's.
+func (m *Unicorn) PredictConfidence(task Task, out []bool, conf []float64) {
+	var vec mlcore.SparseVec
+	for i, p := range task.Pairs {
+		m.enc.EncodeInto(&vec, p, task.Opts)
+		pr := m.model.Prob(vec)
+		out[i] = pr >= 0.5
+		conf[i] = decisionMargin(pr, 0.5)
+	}
+}

@@ -1,0 +1,56 @@
+package route
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock abstracts time for the routing layer. Serving runs on the real
+// clock; the emroute sweep runs on a virtual clock that backends and
+// backoffs advance by their simulated durations — a whole
+// failure-injected sweep takes milliseconds of wall time, and every
+// measured latency quantile is deterministic per seed.
+type Clock interface {
+	// Now returns the monotonic time elapsed since the clock's epoch.
+	Now() time.Duration
+	// Sleep advances the clock by d (really, for the real clock;
+	// instantly, for the virtual one).
+	Sleep(d time.Duration)
+}
+
+// RealClock is the wall clock, anchored at its construction.
+type RealClock struct {
+	epoch time.Time
+}
+
+// NewRealClock returns a real clock with epoch now.
+func NewRealClock() *RealClock { return &RealClock{epoch: time.Now()} }
+
+// Now implements Clock.
+func (c *RealClock) Now() time.Duration { return time.Since(c.epoch) }
+
+// Sleep implements Clock.
+func (c *RealClock) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// VirtualClock is a deterministic simulated clock: Now returns the
+// accumulated virtual time and Sleep advances it without blocking. Safe
+// for concurrent use (the serve dispatcher may drive one router from
+// several workers), though deterministic replay additionally requires a
+// sequential caller.
+type VirtualClock struct {
+	now atomic.Int64
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Duration { return time.Duration(c.now.Load()) }
+
+// Sleep implements Clock.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d > 0 {
+		c.now.Add(int64(d))
+	}
+}

@@ -1,0 +1,49 @@
+package route
+
+import (
+	"repro/internal/matchers"
+	"repro/internal/record"
+	"repro/internal/stats"
+)
+
+// routerMatcher adapts a Router to matchers.Matcher, so the serving
+// layer and the CLIs can drop a whole cascade anywhere a single matcher
+// goes.
+type routerMatcher struct {
+	r    *Router
+	name string
+}
+
+// AsMatcher returns the router as a matchers.Matcher named name (e.g.
+// "route[stringsim->gpt-4]"). Training is a no-op — backends wrap
+// already-trained matchers — and predictions are the cascade's final
+// decisions.
+func (r *Router) AsMatcher(name string) matchers.Matcher {
+	return &routerMatcher{r: r, name: name}
+}
+
+// Name implements matchers.Matcher.
+func (m *routerMatcher) Name() string { return m.name }
+
+// ParamsMillions implements matchers.Matcher. The cascade has no single
+// parameter count; report zero like the parameter-free matchers.
+func (m *routerMatcher) ParamsMillions() float64 { return 0 }
+
+// Train implements matchers.Matcher as a no-op: each backend wraps a
+// matcher trained before the router was assembled.
+func (m *routerMatcher) Train([]*record.Dataset, *stats.RNG) {}
+
+// Predict implements matchers.Matcher.
+func (m *routerMatcher) Predict(task matchers.Task) []bool {
+	out := make([]bool, len(task.Pairs))
+	m.PredictBatchInto(task, out)
+	return out
+}
+
+// PredictBatchInto implements matchers.BatchPredictor.
+func (m *routerMatcher) PredictBatchInto(task matchers.Task, out []bool) {
+	outcomes := m.r.RoutePairs(task, nil)
+	for i, o := range outcomes {
+		out[i] = o.Match
+	}
+}

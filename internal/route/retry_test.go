@@ -1,0 +1,51 @@
+package route
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	cfg := RetryConfig{
+		MaxAttempts: 10, BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff: time.Second, Jitter: 0.000001,
+	}.withDefaults()
+	wantApprox := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for i, want := range wantApprox {
+		got := cfg.Backoff(i+1, 42)
+		lo := time.Duration(float64(want) * 0.99)
+		hi := time.Duration(float64(want) * 1.01)
+		if got < lo || got > hi {
+			t.Errorf("Backoff(%d) = %v, want ≈%v", i+1, got, want)
+		}
+	}
+}
+
+func TestBackoffJitterDeterministic(t *testing.T) {
+	cfg := RetryConfig{}.withDefaults()
+	if a, b := cfg.Backoff(2, 7), cfg.Backoff(2, 7); a != b {
+		t.Fatalf("same hash gave different backoffs: %v vs %v", a, b)
+	}
+	if a, b := cfg.Backoff(2, 7), cfg.Backoff(2, 8); a == b {
+		t.Fatalf("different hashes gave identical backoffs: %v", a)
+	}
+	// Jitter stays within ±Jitter of the nominal delay.
+	nominal := float64(cfg.BaseBackoff * 2)
+	for h := uint64(0); h < 200; h++ {
+		d := float64(cfg.Backoff(2, h))
+		if d < nominal*(1-cfg.Jitter)*0.999 || d > nominal*(1+cfg.Jitter)*1.001 {
+			t.Fatalf("Backoff jitter escaped its band: %v at h=%d", time.Duration(d), h)
+		}
+	}
+}
+
+func TestRetryDefaults(t *testing.T) {
+	cfg := RetryConfig{}.withDefaults()
+	if cfg.MaxAttempts != 3 || cfg.BaseBackoff != 100*time.Millisecond ||
+		cfg.MaxBackoff != 2*time.Second || cfg.Jitter != 0.2 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+}

@@ -3,19 +3,26 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/matchers"
 	"repro/internal/obs"
 	"repro/internal/record"
+	"repro/internal/route"
 )
 
 // Admission errors; the HTTP layer maps them onto status codes (429 for a
-// full queue, 503 for draining, 413 for oversized requests).
+// full queue, 503 for draining, 413 for oversized requests). The shed
+// signals wrap the typed backend errors, so the routing layer's
+// backend.Retryable classification and the HTTP status mapping agree by
+// construction: a full queue IS an overload, draining IS transient
+// unavailability.
 var (
-	ErrQueueFull = errors.New("serve: admission queue full")
-	ErrDraining  = errors.New("serve: server draining")
+	ErrQueueFull = fmt.Errorf("serve: admission queue full: %w", backend.ErrOverloaded)
+	ErrDraining  = fmt.Errorf("serve: server draining: %w", backend.ErrUnavailable)
 	ErrTooLarge  = errors.New("serve: request exceeds max pairs per request")
 )
 
@@ -162,11 +169,17 @@ func (s *Server) submitMisses(ctx context.Context, start time.Time, span *obs.Sp
 
 // enqueue performs bounded, non-blocking admission. The shared lock pairs
 // with Shutdown's exclusive lock so a send can never race the queue close.
+// Shed signals feed the router's entry-tier breaker (when routing is on),
+// so sustained local overload fails new work over instead of re-queueing
+// against a saturated path.
 func (s *Server) enqueue(req *request) error {
 	s.admit.RLock()
 	defer s.admit.RUnlock()
 	if s.draining {
 		s.metrics.shedDraining.Add(1)
+		if s.router != nil {
+			s.router.NoteShed(ErrDraining)
+		}
 		return ErrDraining
 	}
 	select {
@@ -174,6 +187,9 @@ func (s *Server) enqueue(req *request) error {
 		return nil
 	default:
 		s.metrics.shedQueueFull.Add(1)
+		if s.router != nil {
+			s.router.NoteShed(ErrQueueFull)
+		}
 		return ErrQueueFull
 	}
 }
@@ -268,7 +284,11 @@ func (s *Server) runBatch(batch []*request) {
 	sctx := obs.WithSpan(context.Background(), sspan)
 	switch s.semantics {
 	case SemBatchInvariant:
-		s.scoreCoalesced(sctx, live, npairs)
+		if s.router != nil {
+			s.scoreRouted(sctx, live, npairs)
+		} else {
+			s.scoreCoalesced(sctx, live, npairs)
+		}
 	case SemSinglePair:
 		s.scoreSingles(sctx, live)
 	case SemRequestBatch:
@@ -282,8 +302,9 @@ func (s *Server) runBatch(batch []*request) {
 // pass: the flattened pair slice fed to the matcher and the result buffer
 // its batch kernel writes into.
 type batchScratch struct {
-	pairs []record.Pair
-	out   []bool
+	pairs    []record.Pair
+	out      []bool
+	outcomes []route.Outcome // routed path only
 }
 
 var batchPool = sync.Pool{New: func() any { return &batchScratch{} }}

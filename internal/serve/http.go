@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/record"
 	"repro/internal/snap"
 	"repro/internal/wire"
@@ -211,12 +212,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // fault (413).
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		return http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining):
-		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrTooLarge):
 		return http.StatusRequestEntityTooLarge
+	// The typed backend errors subsume the serve shed signals (ErrQueueFull
+	// wraps ErrOverloaded, ErrDraining wraps ErrUnavailable), so any layer
+	// that sheds with them — local admission or a routed backend — maps to
+	// the same status the retryable classification implies.
+	case errors.Is(err, backend.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, backend.ErrUnavailable), errors.Is(err, backend.ErrDeadline):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
 	default:

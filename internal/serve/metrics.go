@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/route"
 )
 
 // metrics holds the server's instrumentation handles, all registered in
@@ -100,6 +101,12 @@ type Stats struct {
 	RatePer1K    float64 `json:"rate_per_1k_tokens,omitempty"`
 	ScoredTokens int64   `json:"scored_tokens"`
 	TotalCostUSD float64 `json:"total_cost_usd"`
+
+	// Routed, when non-nil, is the routing cascade's snapshot: per-tier
+	// attempts, retries, failures, hedges and breaker states, plus the
+	// escalation/failover/degraded totals and the routed bill (which is
+	// also folded into TotalCostUSD).
+	Routed *route.Stats `json:"routed,omitempty"`
 }
 
 // Stats snapshots the server's counters.
@@ -140,6 +147,11 @@ func (s *Server) Stats() Stats {
 	st.CacheHitRate = s.cache.HitRate()
 	if s.pricingRate != 0 {
 		st.TotalCostUSD = float64(st.ScoredTokens) / 1000 * s.pricingRate
+	}
+	if s.router != nil {
+		rs := s.router.Stats()
+		st.Routed = &rs
+		st.TotalCostUSD += rs.CostUSD
 	}
 	return st
 }

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"context"
+
+	"repro/internal/matchers"
+	"repro/internal/route"
+)
+
+// scoreRouted is the batch-invariant scoring path when a route.Router is
+// configured: the coalesced micro-batch is flattened exactly like
+// scoreCoalesced, but every pair travels the retry/breaker/cascade
+// machinery instead of a direct matcher call, and each delivered
+// decision carries the routed bill of every attempt it caused.
+func (s *Server) scoreRouted(ctx context.Context, live []*request, npairs int) {
+	sc := batchPool.Get().(*batchScratch)
+	task := matchers.Task{Ctx: ctx, Opts: s.opts, Pairs: sc.pairs[:0]}
+	for _, r := range live {
+		task.Pairs = append(task.Pairs, r.pairs...)
+	}
+	outcomes := s.router.RoutePairs(task, sc.outcomes[:0])
+	i := 0
+	for _, r := range live {
+		for j := range r.pairs {
+			o := &outcomes[i]
+			s.deliver(r, j, o.Match)
+			r.res.CostUSD += o.CostUSD
+			r.res.Tokens += int(o.Tokens)
+			i++
+		}
+		r.span.SetStr("outcome", "ok")
+		r.finish()
+	}
+	sc.pairs = task.Pairs[:0]
+	sc.outcomes = outcomes[:0]
+	batchPool.Put(sc)
+	s.metrics.pairsScored.Add(int64(npairs))
+}
+
+// Router returns the configured routing cascade, or nil when the server
+// scores the matcher directly.
+func (s *Server) Router() *route.Router { return s.router }

@@ -62,6 +62,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/record"
+	"repro/internal/route"
 	"repro/internal/textsim"
 )
 
@@ -161,6 +162,16 @@ type Config struct {
 	// ready (trained from scratch vs restored from a snapshot store); it
 	// is exposed as emserve_startup_* gauges.
 	Startup *StartupInfo
+
+	// Router, when non-nil, scores traffic through the resilient routing
+	// cascade (internal/route) instead of calling the matcher directly:
+	// per-tier retries, circuit breakers, hedging, and per-attempt Table-6
+	// cost accounting. Routed serving is batch-invariant by construction
+	// (every pair is routed independently), so Router forces
+	// SemBatchInvariant, and the server's own per-pair pricing is disabled
+	// — the router already charges every attempt, including failed ones.
+	// Admission shed signals feed the router's entry-tier breaker.
+	Router *route.Router
 }
 
 // StartupInfo records the cold-train vs warm-restore outcome of matcher
@@ -200,6 +211,7 @@ type Server struct {
 	cfg       Config
 	matcher   matchers.Matcher
 	semantics Semantics
+	router    *route.Router
 
 	// pricing, when non-zero, prices every scored pair at rate dollars per
 	// 1K input tokens (prompted matchers only).
@@ -239,10 +251,16 @@ func New(m matchers.Matcher, cfg Config) (*Server, error) {
 	if cfg.Semantics != nil {
 		sem = *cfg.Semantics
 	}
+	if cfg.Router != nil {
+		// Routed pairs are decided independently, so the grouping provably
+		// cannot change decisions: batch-invariant by construction.
+		sem = SemBatchInvariant
+	}
 	s := &Server{
 		cfg:       cfg,
 		matcher:   m,
 		semantics: sem,
+		router:    cfg.Router,
 		cache:     NewPredCache(cfg.CacheCapacity, cfg.CacheShards),
 		sercache:  record.NewSerializeCache(),
 		profiles:  textsim.Shared(),
@@ -253,7 +271,10 @@ func New(m matchers.Matcher, cfg Config) (*Server, error) {
 	// separator, memoised through the shared serialize cache so repeated
 	// records never re-serialize.
 	s.opts = record.SerializeOptions{Separator: record.DefaultSeparator, Cache: s.sercache}
-	if model := matchers.PricingModel(cfg.MatcherName); model != "" {
+	// Routed servers skip their own pricing: the router charges every
+	// attempt (retries and hedges included) through cost.RateForMatcher,
+	// and pricing the delivered pair here would double-bill it.
+	if model := matchers.PricingModel(cfg.MatcherName); model != "" && s.router == nil {
 		rate, err := cost.ServingRate(model)
 		if err != nil {
 			return nil, fmt.Errorf("serve: pricing %s: %w", cfg.MatcherName, err)
@@ -301,6 +322,16 @@ func New(m matchers.Matcher, cfg Config) (*Server, error) {
 	s.reg.CounterFunc("emserve_cost_usd_total", "Table-6 dollars across scored pairs", func() float64 {
 		return cost.Dollars(s.metrics.scoredTokens.Load(), s.pricingRate)
 	})
+	if s.router != nil {
+		// The router's per-tier attempt/retry/breaker metrics live in its
+		// own registry (pass the same Registry to route.New and serve.New
+		// to expose everything on one /metrics page); the server adds only
+		// the aggregate bill, mirroring emserve_cost_usd_total.
+		s.reg.CounterFunc("emserve_routed_cost_usd_total", "Table-6 dollars across all routed attempts, failures and hedges included", s.router.TotalCostUSD)
+		s.reg.CounterFunc("emserve_routed_tokens_total", "billed input tokens across all routed attempts", func() float64 {
+			return float64(s.router.TotalTokens())
+		})
+	}
 	obs.PublishExpvar("emserve", s.reg)
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {

@@ -29,9 +29,9 @@ type stubMatcher struct {
 	pairs   atomic.Int64
 }
 
-func (s *stubMatcher) Name() string                                     { return "Stub" }
-func (s *stubMatcher) ParamsMillions() float64                          { return 0 }
-func (s *stubMatcher) Train(_ []*record.Dataset, _ *stats.RNG)          {}
+func (s *stubMatcher) Name() string                            { return "Stub" }
+func (s *stubMatcher) ParamsMillions() float64                 { return 0 }
+func (s *stubMatcher) Train(_ []*record.Dataset, _ *stats.RNG) {}
 func (s *stubMatcher) Predict(task matchers.Task) []bool {
 	s.calls.Add(1)
 	s.pairs.Add(int64(len(task.Pairs)))
