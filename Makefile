@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json bench-json-serve bench-json-obs bench-json-snap bench-json-wire bench-json-dedup bench-json-route wire-alloc-gate verify-parallel vet serve-smoke route-smoke loadgen-report trace-demo snap-verify dedup-smoke
+.PHONY: build test bench bench-json bench-json-serve bench-json-obs bench-json-snap bench-json-wire bench-json-dedup bench-json-route bench-json-slo wire-alloc-gate verify-parallel vet serve-smoke route-smoke slo-smoke loadgen-report trace-demo snap-verify dedup-smoke
 
 build:
 	$(GO) build ./...
@@ -80,6 +80,39 @@ bench-json-route:
 		-benchtime=1s -benchmem ./internal/route | $(GO) run ./cmd/benchjson -zero 'RouteAllCheap' > BENCH_pr8.json
 	@cat BENCH_pr8.json
 
+# SLO/flight-recorder benchmarks: flight-ring writes (enabled and
+# disabled paths both gated at 0 allocs/op), ring snapshots, and the SLO
+# engine's tick (disabled path gated at 0 allocs/op), recorded as JSON
+# for regression tracking (see EXPERIMENTS.md "SLOs, burn rates and the
+# flight recorder"). Diffable against earlier archives with
+# `benchjson -baseline BENCH_prN.json`.
+bench-json-slo:
+	$(GO) test -run '^$$' -bench 'FlightWrite|FlightDisabled|FlightSnapshot|SLOTick|SLODisabled' \
+		-benchtime=1s -benchmem ./internal/flight ./internal/slo \
+		| $(GO) run ./cmd/benchjson -zero 'FlightWrite|FlightDisabled|SLODisabled' > BENCH_pr9.json
+	@cat BENCH_pr9.json
+
+# SLO/observability gate: burn-rate engine, flight recorder and emwatch
+# unit tests, the serve/route SLO integration tests, then two end-to-end
+# loadgen runs — a clean run under generous objectives that must stay OK
+# for the whole run (-slo-assert), and an injected-cascade run under an
+# impossible latency ceiling that must breach, trip the admission guard
+# and dump flight evidence (-slo-expect-breach) which tracecheck -flight
+# then validates.
+slo-smoke:
+	$(GO) test ./internal/slo/ ./internal/flight/ ./cmd/emwatch/ -run .
+	$(GO) test ./internal/serve/ -run 'SLO|Flight'
+	$(GO) test ./internal/route/ -run 'SLO|Flight'
+	$(GO) run ./cmd/emserve -matcher stringsim -loadgen -duration 2s -qps 200 \
+		-slo 'p99<=250ms@4s/1s,shed<=20%,error<=10%,cost<=$$10' -flight 1024 -slo-assert
+	rm -rf /tmp/emserve-slo-smoke
+	$(GO) run ./cmd/emserve -route stringsim,gpt-4 -route-inject -route-confidence 1 \
+		-cache 0 -pairs-per-request 1 -loadgen -duration 6s \
+		-slo 'p99<=5ms@4s/1s' -slo-shed 500 -flight 4096 \
+		-flight-dump /tmp/emserve-slo-smoke -slo-expect-breach
+	$(GO) run ./cmd/tracecheck -flight /tmp/emserve-slo-smoke/*.jsonl
+	rm -rf /tmp/emserve-slo-smoke
+
 # Resilient-routing gate: backend simulator, breaker/retry/router unit
 # tests, the routed serving path, then an emroute sweep whose -smoke
 # self-checks enforce the frontier's invariants (threshold-0 offline
@@ -128,9 +161,12 @@ snap-verify:
 # index and the dedup pipeline (concurrent build/probe workers), and the
 # routing stack (internal/backend simulators, internal/route breakers and
 # routers shared across serving workers); the route-smoke gate covers the
-# cascade end to end.
-verify-parallel: vet snap-verify wire-alloc-gate dedup-smoke route-smoke
-	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/record/... ./internal/textsim/... ./internal/lm/... ./internal/eval/... ./internal/core/... ./internal/serve/... ./internal/snap/... ./internal/blocking/... ./internal/dedup/... ./internal/stream/... ./internal/backend/... ./internal/route/...
+# cascade end to end. The slo-smoke gate covers the burn-rate engine and
+# flight recorder end to end, and the race list includes both (the engine
+# ticks on a background goroutine while request threads feed its sources;
+# the flight ring is written lock-free from every worker).
+verify-parallel: vet snap-verify wire-alloc-gate dedup-smoke route-smoke slo-smoke
+	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/record/... ./internal/textsim/... ./internal/lm/... ./internal/eval/... ./internal/core/... ./internal/serve/... ./internal/snap/... ./internal/blocking/... ./internal/dedup/... ./internal/stream/... ./internal/backend/... ./internal/route/... ./internal/slo/... ./internal/flight/...
 
 # Allocation gate for the zero-copy serving hot path. Runs without -race
 # (the race detector defeats sync.Pool, making allocs/op meaningless):

@@ -5,6 +5,13 @@
 // -zero <regexp> additionally asserts that every matching benchmark
 // reports 0 allocs/op, exiting non-zero otherwise — the allocation
 // regression gate on the serving hot path (make verify-parallel).
+//
+// -baseline BENCH_prN.json compares the run against an archived report:
+// per benchmark it prints the ns/op ratio and any allocs/op growth, and
+// exits non-zero when a benchmark slowed past -threshold (default 1.25x)
+// or started allocating more — the cross-PR performance regression gate.
+// Benchmarks present on only one side are reported but never fail the
+// gate (filters and renames should not require a fresh baseline).
 package main
 
 import (
@@ -41,6 +48,8 @@ type Report struct {
 
 func main() {
 	zeroPat := flag.String("zero", "", "fail unless every benchmark matching this regexp reports 0 allocs/op")
+	baseline := flag.String("baseline", "", "archived benchjson report to diff against; regressions exit non-zero")
+	threshold := flag.Float64("threshold", 1.25, "ns/op ratio over the baseline tolerated before a benchmark counts as regressed")
 	flag.Parse()
 	var zero *regexp.Regexp
 	if *zeroPat != "" {
@@ -100,6 +109,72 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		lines, regressions := compareReports(rep, base, *threshold)
+		fmt.Fprintf(os.Stderr, "benchjson: vs %s (threshold %.2fx):\n", *baseline, *threshold)
+		for _, l := range lines {
+			fmt.Fprintln(os.Stderr, " ", l)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed\n", regressions)
+			os.Exit(1)
+		}
+	}
+}
+
+// compareReports diffs the current run against a baseline. A benchmark
+// regresses when its ns/op ratio exceeds threshold or its allocs/op grew;
+// one below 1/threshold is flagged as improved (a hint the baseline is
+// stale). New and missing benchmarks are informational only.
+func compareReports(cur, base Report, threshold float64) (lines []string, regressions int) {
+	baseByName := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseByName[r.Name] = r
+	}
+	seen := make(map[string]bool, len(cur.Results))
+	for _, c := range cur.Results {
+		seen[c.Name] = true
+		b, ok := baseByName[c.Name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("%-40s new (%.1f ns/op)", c.Name, c.NsPerOp))
+			continue
+		}
+		ratio := 0.0
+		if b.NsPerOp > 0 {
+			ratio = c.NsPerOp / b.NsPerOp
+		}
+		switch {
+		case c.AllocsPerOp > b.AllocsPerOp:
+			regressions++
+			lines = append(lines, fmt.Sprintf("%-40s REGRESSED allocs %d -> %d/op (%.2fx ns)",
+				c.Name, b.AllocsPerOp, c.AllocsPerOp, ratio))
+		case ratio > threshold:
+			regressions++
+			lines = append(lines, fmt.Sprintf("%-40s REGRESSED %.2fx (%.1f -> %.1f ns/op)",
+				c.Name, ratio, b.NsPerOp, c.NsPerOp))
+		case threshold > 0 && ratio < 1/threshold:
+			lines = append(lines, fmt.Sprintf("%-40s improved %.2fx (%.1f -> %.1f ns/op)",
+				c.Name, ratio, b.NsPerOp, c.NsPerOp))
+		default:
+			lines = append(lines, fmt.Sprintf("%-40s ok %.2fx", c.Name, ratio))
+		}
+	}
+	for _, b := range base.Results {
+		if !seen[b.Name] {
+			lines = append(lines, fmt.Sprintf("%-40s missing from this run", b.Name))
+		}
+	}
+	return lines, regressions
 }
 
 // parseLine parses e.g.

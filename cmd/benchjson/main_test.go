@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseLineStandard(t *testing.T) {
 	r, ok := parseLine("BenchmarkQGramJaccard-8  5634930  217.8 ns/op  16 B/op  1 allocs/op")
@@ -31,6 +34,51 @@ func TestParseLineCustomMetrics(t *testing.T) {
 	}
 	if r.AllocsPerOp != 0 || r.BytesPerOp != 0 {
 		t.Fatalf("mem fields %+v", r)
+	}
+}
+
+// The baseline diff flags slowdowns past the threshold and any alloc
+// growth; new, missing and improved benchmarks are informational.
+func TestCompareReports(t *testing.T) {
+	base := Report{Results: []Result{
+		{Name: "BenchmarkSteady", NsPerOp: 100},
+		{Name: "BenchmarkSlower", NsPerOp: 100},
+		{Name: "BenchmarkFaster", NsPerOp: 100},
+		{Name: "BenchmarkAllocs", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "BenchmarkGone", NsPerOp: 100},
+	}}
+	cur := Report{Results: []Result{
+		{Name: "BenchmarkSteady", NsPerOp: 110},
+		{Name: "BenchmarkSlower", NsPerOp: 200},
+		{Name: "BenchmarkFaster", NsPerOp: 50},
+		{Name: "BenchmarkAllocs", NsPerOp: 100, AllocsPerOp: 2},
+		{Name: "BenchmarkNew", NsPerOp: 10},
+	}}
+	lines, regressions := compareReports(cur, base, 1.25)
+	if regressions != 2 {
+		t.Fatalf("regressions = %d, want 2 (slower + allocs):\n%s", regressions, strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{
+		"BenchmarkSteady", "ok 1.10x",
+		"BenchmarkSlower", "REGRESSED 2.00x",
+		"BenchmarkFaster", "improved 0.50x",
+		"allocs 0 -> 2/op",
+		"BenchmarkNew", "new",
+		"BenchmarkGone", "missing from this run",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("diff missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// An identical run is regression-free.
+func TestCompareReportsIdentical(t *testing.T) {
+	rep := Report{Results: []Result{{Name: "BenchmarkX", NsPerOp: 42, AllocsPerOp: 1}}}
+	lines, regressions := compareReports(rep, rep, 1.25)
+	if regressions != 0 || len(lines) != 1 || !strings.Contains(lines[0], "ok 1.00x") {
+		t.Fatalf("identical diff = %d regressions, %v", regressions, lines)
 	}
 }
 

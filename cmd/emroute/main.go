@@ -16,7 +16,13 @@
 //	emroute [-targets ABT] [-tiers stringsim,anymatch-gpt2,gpt-4]
 //	        [-thresholds 0,0.3,0.5,0.7,0.9,1] [-inject both]
 //	        [-seed 1] [-max-pairs 0] [-parallel 0] [-out frontier.csv]
-//	        [-smoke]
+//	        [-smoke] [-slo-assert 'f1>=0.3,cost<=$0.25,p99<=100ms']
+//
+// -slo-assert evaluates the named objectives (internal/slo grammar)
+// against every clean arm's measured F1, cost per 1K pairs, latency
+// quantiles and degraded rate, and exits non-zero on any violation —
+// the labeled-traffic complement of emserve's online burn-rate engine
+// (F1 floors only make sense here, where the test pairs carry labels).
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/record"
 	"repro/internal/route"
+	"repro/internal/slo"
 	"repro/internal/stats"
 )
 
@@ -50,6 +57,7 @@ func main() {
 	flag.IntVar(&cfg.Parallel, "parallel", 0, "arm workers: 0 = one per CPU, 1 = sequential (output is identical either way)")
 	flag.StringVar(&cfg.Out, "out", "", "write the frontier as CSV to this file")
 	flag.BoolVar(&cfg.Smoke, "smoke", false, "run self-checks on the sweep results and exit non-zero on violation")
+	flag.StringVar(&cfg.SLOAssert, "slo-assert", "", "assert these SLOs (e.g. 'f1>=0.3,cost<=$0.25,p99<=100ms') against every clean arm; exit non-zero on violation")
 	flag.Parse()
 
 	if err := run(cfg, os.Stdout); err != nil {
@@ -68,6 +76,7 @@ type sweepConfig struct {
 	Parallel   int
 	Out        string
 	Smoke      bool
+	SLOAssert  string
 }
 
 // arm is one sweep cell: a confidence threshold under a failure mode.
@@ -79,18 +88,18 @@ type arm struct {
 // armResult aggregates one arm across all targets.
 type armResult struct {
 	arm
-	Pairs       int
-	Conf        eval.Confusion
-	Tokens      int64
-	CostUSD     float64
-	Escalations int
-	Failovers   int
-	Retries     int
-	Hedges      int
-	Degraded    int
-	Attempts    int
-	Transitions int64
-	P50, P99    time.Duration
+	Pairs         int
+	Conf          eval.Confusion
+	Tokens        int64
+	CostUSD       float64
+	Escalations   int
+	Failovers     int
+	Retries       int
+	Hedges        int
+	Degraded      int
+	Attempts      int
+	Transitions   int64
+	P50, P95, P99 time.Duration
 	// Decisions are the per-pair routed decisions in sweep order, kept
 	// for the smoke checks' offline bit-identity comparison.
 	Decisions []bool
@@ -227,7 +236,55 @@ func run(cfg sweepConfig, stdout io.Writer) error {
 		}
 		fmt.Fprintln(stdout, "SMOKE OK")
 	}
+	if cfg.SLOAssert != "" {
+		n, err := assertSLOs(cfg.SLOAssert, results)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "SLO ASSERT OK: %d clean arms\n", n)
+	}
 	return nil
+}
+
+// assertSLOs applies the one-shot SLO check to every clean arm's
+// measured outcomes. Only clean arms are judged: injected arms measure
+// resilience, and their degraded quality is the point of the exercise,
+// not a violation. Returns the number of arms checked.
+func assertSLOs(assert string, results []armResult) (int, error) {
+	specs, err := slo.ParseSpecs(assert)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, r := range results {
+		if r.Injected || r.Pairs == 0 {
+			continue
+		}
+		degraded := float64(r.Degraded) / float64(r.Pairs)
+		m := slo.Measures{
+			LatencyP50US: float64(r.P50.Microseconds()),
+			LatencyP95US: float64(r.P95.Microseconds()),
+			LatencyP99US: float64(r.P99.Microseconds()),
+			ShedRate:     degraded,
+			ErrorRate:    degraded,
+			CostPer1K:    r.costPer1K(),
+			// Confusion.F1 is a percentage; the SLO grammar speaks fractions.
+			F1:    r.Conf.F1() / 100,
+			HasF1: true,
+		}
+		vs, err := slo.Check(specs, m)
+		if err != nil {
+			return n, err
+		}
+		if len(vs) > 0 {
+			return n, fmt.Errorf("slo-assert: clean arm thr=%g: %s", r.Threshold, slo.FormatViolations(vs))
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("slo-assert: no clean arms to judge (need -inject clean or both)")
+	}
+	return n, nil
 }
 
 // runArm routes every target's test pairs through a fresh router under
@@ -276,6 +333,7 @@ func runArm(a arm, tierNames []string, tierMatchers []matchers.Matcher, tierRate
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	res.P50 = quantileDur(latencies, 0.50)
+	res.P95 = quantileDur(latencies, 0.95)
 	res.P99 = quantileDur(latencies, 0.99)
 	for _, t := range r.Stats().Tiers {
 		res.Transitions += t.Transitions
@@ -334,14 +392,14 @@ func writeCSV(path string, results []armResult) error {
 		return err
 	}
 	defer f.Close()
-	fmt.Fprintln(f, "profile,threshold,pairs,f1,precision,recall,usd_per_1k_pairs,tokens,escalation_rate,retries,failovers,hedges,degraded,attempts,p50_us,p99_us,breaker_transitions")
+	fmt.Fprintln(f, "profile,threshold,pairs,f1,precision,recall,usd_per_1k_pairs,tokens,escalation_rate,retries,failovers,hedges,degraded,attempts,p50_us,p95_us,p99_us,breaker_transitions")
 	for _, r := range results {
-		fmt.Fprintf(f, "%s,%g,%d,%.4f,%.4f,%.4f,%.6f,%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(f, "%s,%g,%d,%.4f,%.4f,%.4f,%.6f,%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			r.mode(), r.Threshold, r.Pairs,
 			r.Conf.F1(), r.Conf.Precision(), r.Conf.Recall(),
 			r.costPer1K(), r.Tokens, r.escalationRate(),
 			r.Retries, r.Failovers, r.Hedges, r.Degraded, r.Attempts,
-			r.P50.Microseconds(), r.P99.Microseconds(), r.Transitions)
+			r.P50.Microseconds(), r.P95.Microseconds(), r.P99.Microseconds(), r.Transitions)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 )
 
@@ -35,6 +36,45 @@ func TestSweepParallelByteIdentity(t *testing.T) {
 	}
 	if !bytes.Contains(seq.Bytes(), []byte("SMOKE OK")) {
 		t.Fatalf("smoke checks did not pass:\n%s", seq.String())
+	}
+}
+
+// -slo-assert judges clean arms against the declared objectives: a
+// satisfiable set passes, an impossible F1 floor fails with the
+// violation named.
+func TestSweepSLOAssert(t *testing.T) {
+	base := sweepConfig{
+		Targets:    "ABT",
+		Tiers:      "stringsim,gpt-4",
+		Thresholds: "0,0.5",
+		Inject:     "clean",
+		Seed:       3,
+		MaxPairs:   80,
+		SLOAssert:  "f1>=0.05,cost<=$1000,p99<=10s,shed<=50%",
+	}
+	var out bytes.Buffer
+	if err := run(base, &out); err != nil {
+		t.Fatalf("satisfiable slo-assert failed: %v", err)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("SLO ASSERT OK: 2 clean arms")) {
+		t.Fatalf("missing assert verdict:\n%s", out.String())
+	}
+
+	bad := base
+	bad.SLOAssert = "f1>=0.9999"
+	err := run(bad, &out)
+	if err == nil {
+		t.Fatal("impossible f1 floor passed")
+	}
+	if !strings.Contains(err.Error(), "below floor") {
+		t.Fatalf("violation not named: %v", err)
+	}
+
+	// Injected-only sweeps have nothing deterministic to judge.
+	noClean := base
+	noClean.Inject = "injected"
+	if err := run(noClean, &out); err == nil || !strings.Contains(err.Error(), "no clean arms") {
+		t.Fatalf("injected-only assert err = %v", err)
 	}
 }
 

@@ -14,6 +14,7 @@
 //	emserve -matcher stringsim -loadgen -qps 0 -duration 5s
 //	emserve -matcher stringsim -loadgen -proto binary
 //	emserve -route stringsim,anymatch-gpt2,gpt-4 -route-confidence 0.5
+//	emserve -matcher stringsim -slo 'p99<=5ms,shed<=1%' -flight 4096
 //	emserve -matcher stringsim -smoke
 //
 // Endpoints:
@@ -22,11 +23,21 @@
 //	GET  /healthz  liveness + loaded matcher
 //	GET  /stats    queue depth, batch histogram, cache hit rate,
 //	               latency quantiles, dollar cost
+//	GET  /slo      burn-rate status of every -slo objective
+//
+// -slo arms the burn-rate SLO engine (see internal/slo) and, with
+// -slo-shed, the breach admission guard; -flight arms the per-request
+// flight recorder, with -flight-dump naming the directory breach and
+// straggler evidence is written to (validated by tracecheck -flight).
 //
 // -loadgen replays benchmark pairs against an in-process instance and
-// prints a baseline-versus-served throughput/latency report. -smoke starts
-// the service on an ephemeral port, checks /healthz and /match, and exits
-// non-zero on any failure (the make serve-smoke gate).
+// prints a baseline-versus-served throughput/latency report; with -slo it
+// instead drives the fully armed server and renders the final burn-rate
+// status of every objective, where -slo-assert demands a clean run and
+// -slo-expect-breach demands a breach plus validating flight evidence
+// (the make slo-smoke gates). -smoke starts the service on an ephemeral
+// port, checks /healthz and /match, and exits non-zero on any failure
+// (the make serve-smoke gate).
 package main
 
 import (
@@ -42,6 +53,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -49,11 +61,13 @@ import (
 	"repro/internal/cost"
 	"repro/internal/datasets"
 	"repro/internal/eval"
+	"repro/internal/flight"
 	"repro/internal/matchers"
 	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/route"
 	"repro/internal/serve"
+	"repro/internal/slo"
 	"repro/internal/snap"
 	"repro/internal/stats"
 	"repro/internal/wire"
@@ -87,6 +101,13 @@ func main() {
 		routeConf  = flag.Float64("route-confidence", 0.5, "cascade confidence threshold: pairs below it escalate to the next tier")
 		routeInj   = flag.Bool("route-inject", false, "inject each tier's failure profile (latency tails, faults, rate limits) instead of clean backends")
 
+		sloSpec   = flag.String("slo", "", "comma-separated SLO objectives (e.g. 'p99<=5ms@1m/10s,shed<=1%,cost<=$0.25'): arms the burn-rate engine and /slo")
+		sloShed   = flag.Int("slo-shed", 0, "while any objective is in BREACH, shed this permille of cache-miss admissions with 429 (0 disables the guard)")
+		flightN   = flag.Int("flight", 0, "flight-recorder ring size in records (0 disables)")
+		flightDir = flag.String("flight-dump", "", "directory for flight-evidence JSONL dumps on breach and straggler requests (needs -flight)")
+		sloAssert = flag.Bool("slo-assert", false, "loadgen: exit non-zero unless every objective stayed OK for the whole run")
+		sloExpect = flag.Bool("slo-expect-breach", false, "loadgen: exit non-zero unless the run breached an objective and dumped validating flight evidence (needs -flight and -flight-dump)")
+
 		smoke = flag.Bool("smoke", false, "start, self-check /healthz and /match, exit")
 
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in)")
@@ -102,6 +123,9 @@ func main() {
 		addr: *addr, matcher: *matcherName, seed: *seed, parallel: *parallel,
 		store:      *storeDir,
 		routeTiers: *routeTiers, routeConf: *routeConf, routeInject: *routeInj,
+		sloSpec: *sloSpec, sloShed: *sloShed,
+		flightN: *flightN, flightDir: *flightDir,
+		sloAssert: *sloAssert, sloExpect: *sloExpect,
 		loadgen: *loadgen, qps: *qps, duration: *duration, conc: *conc,
 		perReq: *perReq, dataset: *dataset, jsonOut: *jsonOut, proto: *proto,
 		smoke: *smoke,
@@ -135,6 +159,13 @@ type runConfig struct {
 	routeConf   float64
 	routeInject bool
 
+	sloSpec   string
+	sloShed   int
+	flightN   int
+	flightDir string
+	sloAssert bool
+	sloExpect bool
+
 	loadgen  bool
 	qps      float64
 	duration time.Duration
@@ -150,6 +181,31 @@ type runConfig struct {
 }
 
 func run(cfg runConfig) error {
+	if (cfg.sloAssert || cfg.sloExpect) && (!cfg.loadgen || cfg.sloSpec == "") {
+		return fmt.Errorf("-slo-assert and -slo-expect-breach need -loadgen and -slo")
+	}
+	if cfg.sloExpect && (cfg.flightN <= 0 || cfg.flightDir == "") {
+		return fmt.Errorf("-slo-expect-breach needs -flight and -flight-dump: a breach without evidence is not a pass")
+	}
+	if cfg.flightDir != "" && cfg.flightN <= 0 {
+		return fmt.Errorf("-flight-dump needs -flight to arm the recorder")
+	}
+	if cfg.sloSpec != "" {
+		specs, err := slo.ParseSpecs(cfg.sloSpec)
+		if err != nil {
+			return err
+		}
+		cfg.serveCfg.SLOSpecs = specs
+		cfg.serveCfg.BreachShedPermille = cfg.sloShed
+	}
+	if cfg.flightN > 0 {
+		rec := flight.New(cfg.flightN)
+		cfg.serveCfg.Flight = rec
+		if cfg.flightDir != "" {
+			cfg.serveCfg.FlightDump = flight.NewDumper(rec, cfg.flightDir, 0)
+		}
+	}
+
 	var (
 		m       matchers.Matcher
 		startup *serve.StartupInfo
@@ -170,6 +226,9 @@ func run(cfg runConfig) error {
 	}
 
 	if cfg.loadgen {
+		if cfg.serveCfg.SLOSpecs != nil || cfg.serveCfg.Flight != nil {
+			return runSLOLoadGen(m, cfg)
+		}
 		return runLoadGen(m, cfg)
 	}
 
@@ -221,6 +280,14 @@ func run(cfg runConfig) error {
 	fmt.Fprintf(os.Stderr,
 		"emserve: drained: %d requests ok, %d pairs scored, %d from cache, %d expired, $%.4f total cost\n",
 		st.RequestsOK, st.PairsScored, st.PairsCached, st.PairsExpired, st.TotalCostUSD)
+	if e := srv.SLO(); e != nil {
+		for _, o := range e.Snapshot() {
+			fmt.Fprintln(os.Stderr, "emserve: slo:", slo.FormatStatus(o))
+		}
+		for _, p := range srv.FlightDump().Paths() {
+			fmt.Fprintln(os.Stderr, "emserve: flight evidence:", p)
+		}
+	}
 	if tr := srv.Tracer(); tr != nil && cfg.tracePath != "" {
 		f, err := os.Create(cfg.tracePath)
 		if err != nil {
@@ -397,6 +464,130 @@ func runLoadGen(m matchers.Matcher, cfg runConfig) error {
 		return enc.Encode(cmp)
 	}
 	fmt.Print(serve.RenderComparison(cmp))
+	return nil
+}
+
+// runSLOLoadGen replays one benchmark dataset through a fully armed
+// server — SLO engine, breach admission guard, flight recorder, routed
+// or single-matcher — and renders the load report plus the final
+// burn-rate status of every objective. -slo-assert demands the run never
+// left OK; -slo-expect-breach demands a breach transition AND validating
+// flight evidence on disk, so the breach path is tested end to end
+// rather than trusted.
+func runSLOLoadGen(m matchers.Matcher, cfg runConfig) error {
+	d, err := datasets.Generate(cfg.dataset, eval.DatasetSeed)
+	if err != nil {
+		return fmt.Errorf("loadgen dataset: %w", err)
+	}
+	pairs := make([]record.Pair, len(d.Pairs))
+	for i, p := range d.Pairs {
+		pairs[i] = p.Pair
+	}
+
+	// Transitions arrive from the background tick loop; collect breaches
+	// under a lock so a flapping objective cannot race the final verdict.
+	var (
+		mu       sync.Mutex
+		breaches []string
+	)
+	cfg.serveCfg.OnSLOTransition = func(tr slo.Transition) {
+		fmt.Fprintf(os.Stderr, "emserve: slo %s: %s -> %s (%s)\n", tr.Name, tr.From, tr.To, tr.Status.Spec)
+		if tr.To == slo.Breach {
+			mu.Lock()
+			breaches = append(breaches, tr.Name)
+			mu.Unlock()
+		}
+	}
+	srv, err := serve.New(m, cfg.serveCfg)
+	if err != nil {
+		return err
+	}
+	url, stop, err := serve.Listen(srv)
+	if err != nil {
+		srv.Shutdown()
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "emserve: replaying %d pairs from %s against %s under SLO %q\n",
+		len(pairs), d.Name, m.Name(), cfg.sloSpec)
+	rep, lgErr := serve.GenerateLoad(url, pairs, serve.LoadGenConfig{
+		QPS:             cfg.qps,
+		Duration:        cfg.duration,
+		Concurrency:     cfg.conc,
+		PairsPerRequest: cfg.perReq,
+		Protocol:        cfg.proto,
+	})
+	stop()
+	srv.TickSLO() // final evaluation covering the run's tail
+	statuses := srv.SLO().Snapshot()
+	worst := srv.SLO().Worst()
+	st := srv.Stats()
+	srv.Shutdown()
+	if lgErr != nil {
+		return lgErr
+	}
+	dumps := srv.FlightDump().Paths()
+	mu.Lock()
+	nBreach := len(breaches)
+	mu.Unlock()
+
+	if cfg.jsonOut {
+		out := struct {
+			Matcher string           `json:"matcher"`
+			Load    serve.LoadReport `json:"load"`
+			Stats   serve.Stats      `json:"stats"`
+			SLO     []slo.Status     `json:"slo,omitempty"`
+			Dumps   []string         `json:"flight_dumps,omitempty"`
+		}{Matcher: m.Name(), Load: rep, Stats: st, SLO: statuses, Dumps: dumps}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("load: %d ok, %d shed (slo %d), %d errors — %.0f pairs/s, p50 %.3fms p95 %.3fms p99 %.3fms, cost $%.4f\n",
+			rep.OK, rep.Rejected, st.ShedSLO, rep.Errors,
+			rep.PairPerSec, rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.CostUSD)
+		for _, o := range statuses {
+			fmt.Println("slo:", slo.FormatStatus(o))
+		}
+		if n := srv.Flight().Len(); n > 0 {
+			fmt.Printf("flight: %d records in ring", n)
+			if len(dumps) > 0 {
+				fmt.Printf(", %d dumps in %s", len(dumps), srv.FlightDump().Dir())
+			}
+			fmt.Println()
+		}
+	}
+
+	if cfg.sloAssert {
+		if nBreach > 0 || worst != slo.OK {
+			return fmt.Errorf("slo-assert: %d breach transitions, final state %s", nBreach, worst)
+		}
+		fmt.Printf("SLO ASSERT OK: %d objectives stayed OK over %d requests\n", len(statuses), rep.Requests)
+	}
+	if cfg.sloExpect {
+		if nBreach == 0 {
+			return fmt.Errorf("slo-expect-breach: no objective breached (final state %s)", worst)
+		}
+		if len(dumps) == 0 {
+			return fmt.Errorf("slo-expect-breach: breach produced no flight dump")
+		}
+		total := 0
+		for _, p := range dumps {
+			f, err := os.Open(p)
+			if err != nil {
+				return err
+			}
+			n, err := flight.Validate(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("slo-expect-breach: %s: %w", p, err)
+			}
+			total += n
+		}
+		fmt.Printf("BREACH EVIDENCE OK: %d breach transitions, %d dumps, %d validated flight records\n",
+			nBreach, len(dumps), total)
+	}
 	return nil
 }
 

@@ -1,0 +1,187 @@
+// Command emwatch is a polling terminal dashboard for a running emserve
+// instance: it scrapes /stats and /slo every interval and renders live
+// throughput (delta-based req/s and pairs/s between polls), latency
+// quantiles, shed and cache rates, dollar cost, and each SLO objective's
+// burn-rate status. With -exit-on-breach (the default) it exits with
+// code 3 the moment any objective is in BREACH, so scripts and CI gates
+// can watch a service and fail when it runs out of error budget.
+//
+// Usage:
+//
+//	emwatch [-url http://localhost:8080] [-interval 1s] [-n 0]
+//	        [-plain] [-once] [-exit-on-breach=true]
+//
+// -n bounds the number of polls (0 = until interrupted or breached);
+// -plain appends frames instead of redrawing, for logs and pipes; -once
+// is shorthand for -plain -n 1.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/slo"
+)
+
+func main() {
+	var cfg watchConfig
+	flag.StringVar(&cfg.URL, "url", "http://localhost:8080", "base URL of the emserve instance")
+	flag.DurationVar(&cfg.Interval, "interval", time.Second, "poll interval")
+	flag.IntVar(&cfg.Count, "n", 0, "number of polls (0 = until interrupted or breached)")
+	flag.BoolVar(&cfg.Plain, "plain", false, "append frames instead of redrawing the screen")
+	once := flag.Bool("once", false, "poll once, print one frame, exit (implies -plain -n 1)")
+	flag.BoolVar(&cfg.ExitOnBreach, "exit-on-breach", true, "exit with code 3 as soon as any SLO objective is in BREACH")
+	flag.Parse()
+	if *once {
+		cfg.Plain, cfg.Count = true, 1
+	}
+	worst, err := watch(cfg, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emwatch:", err)
+		os.Exit(1)
+	}
+	if cfg.ExitOnBreach && worst == slo.Breach {
+		fmt.Fprintln(os.Stderr, "emwatch: SLO BREACH")
+		os.Exit(3)
+	}
+}
+
+type watchConfig struct {
+	URL          string
+	Interval     time.Duration
+	Count        int
+	Plain        bool
+	ExitOnBreach bool
+}
+
+// sample is one poll of the service's observability surface.
+type sample struct {
+	at    time.Time
+	stats serve.Stats
+	// slo is nil when the service has no objectives configured (/slo 404).
+	slo *serve.SLOResponse
+}
+
+// watch polls until the count runs out or (with ExitOnBreach) an
+// objective breaches, rendering one frame per poll. It returns the worst
+// SLO state seen across the run.
+func watch(cfg watchConfig, out io.Writer) (slo.State, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	worst := slo.OK
+	var prev *sample
+	for i := 0; cfg.Count <= 0 || i < cfg.Count; i++ {
+		if i > 0 {
+			time.Sleep(cfg.Interval)
+		}
+		cur, err := pollOnce(client, cfg.URL)
+		if err != nil {
+			return worst, err
+		}
+		if !cfg.Plain {
+			fmt.Fprint(out, "\x1b[H\x1b[2J") // home + clear
+		}
+		render(out, prev, cur)
+		if cur.slo != nil && cur.slo.State > worst {
+			worst = cur.slo.State
+		}
+		if cfg.ExitOnBreach && worst == slo.Breach {
+			return worst, nil
+		}
+		c := cur
+		prev = &c
+	}
+	return worst, nil
+}
+
+// pollOnce scrapes /stats (required) and /slo (404 means no objectives).
+func pollOnce(client *http.Client, base string) (sample, error) {
+	s := sample{at: time.Now()}
+	if err := getJSON(client, base+"/stats", &s.stats); err != nil {
+		return s, fmt.Errorf("stats: %w", err)
+	}
+	resp, err := client.Get(base + "/slo")
+	if err != nil {
+		return s, fmt.Errorf("slo: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var sr serve.SLOResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			return s, fmt.Errorf("slo: %w", err)
+		}
+		s.slo = &sr
+	case http.StatusNotFound:
+		_, _ = io.Copy(io.Discard, resp.Body)
+	default:
+		return s, fmt.Errorf("slo: status %d", resp.StatusCode)
+	}
+	return s, nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// render draws one dashboard frame. The traffic rates are deltas between
+// consecutive polls; the first frame falls back to lifetime averages.
+func render(w io.Writer, prev *sample, cur sample) {
+	st := cur.stats
+	state := "no slo"
+	if cur.slo != nil {
+		state = cur.slo.State.String()
+	}
+	fmt.Fprintf(w, "emwatch  %s  up %.1fs  [%s]\n", st.Matcher, st.UptimeSec, state)
+	qps, pps := rates(prev, cur)
+	fmt.Fprintf(w, "  traffic %9.1f req/s %10.1f pairs/s   p50 %s  p95 %s  p99 %s\n",
+		qps, pps, fmtUS(st.LatencyP50Us), fmtUS(st.LatencyP95Us), fmtUS(st.LatencyP99Us))
+	shed := st.ShedQueueFull + st.ShedDraining + st.ShedSLO
+	fmt.Fprintf(w, "  shed    %9d (queue %d, slo %d, drain %d)  expired %d  cache %.1f%%  cost $%.4f\n",
+		shed, st.ShedQueueFull, st.ShedSLO, st.ShedDraining, st.PairsExpired,
+		100*st.CacheHitRate, st.TotalCostUSD)
+	if cur.slo == nil {
+		fmt.Fprintln(w, "  slo     none configured")
+		return
+	}
+	fmt.Fprintf(w, "  slo     %s  (%d objectives, %d breaches since start)\n",
+		cur.slo.State, len(cur.slo.Objectives), cur.slo.Breaches)
+	for _, o := range cur.slo.Objectives {
+		fmt.Fprintf(w, "    %s\n", slo.FormatStatus(o))
+	}
+}
+
+// rates returns the request and pair throughput between two polls.
+func rates(prev *sample, cur sample) (qps, pps float64) {
+	pairs := func(s serve.Stats) int64 { return s.PairsScored + s.PairsCached }
+	if prev == nil {
+		if up := cur.stats.UptimeSec; up > 0 {
+			return float64(cur.stats.Requests) / up, float64(pairs(cur.stats)) / up
+		}
+		return 0, 0
+	}
+	dt := cur.at.Sub(prev.at).Seconds()
+	if dt <= 0 {
+		return 0, 0
+	}
+	return float64(cur.stats.Requests-prev.stats.Requests) / dt,
+		float64(pairs(cur.stats)-pairs(prev.stats)) / dt
+}
+
+// fmtUS renders a microsecond quantile as ms with µs precision.
+func fmtUS(us float64) string {
+	return fmt.Sprintf("%.3fms", us/1000)
+}

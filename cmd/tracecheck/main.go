@@ -5,32 +5,86 @@
 // of spans by name plus the per-stage fold. Non-zero exit on any
 // violation — the make trace-demo gate.
 //
+// With -flight the inputs are flight-recorder evidence dumps instead
+// (emserve -flight-dump, see internal/flight): every line must parse as
+// a flight record with a known outcome code and strictly increasing
+// sequence numbers, and an empty dump is a failure — the make slo-smoke
+// gate on breach evidence.
+//
 // Usage:
 //
 //	tracecheck [-stages] trace.jsonl [more.jsonl ...]
+//	tracecheck -flight flight-000-breach.jsonl [more.jsonl ...]
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
+	"repro/internal/flight"
 	"repro/internal/obs"
 	"repro/internal/report"
 )
 
 func main() {
 	stages := flag.Bool("stages", false, "also print the per-stage run report folded from the trace")
+	flightMode := flag.Bool("flight", false, "validate flight-recorder JSONL dumps instead of span traces")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-stages] trace.jsonl [more.jsonl ...]")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-stages|-flight] trace.jsonl [more.jsonl ...]")
 		os.Exit(2)
 	}
-	if err := run(flag.Args(), *stages); err != nil {
+	var err error
+	if *flightMode {
+		err = runFlight(flag.Args())
+	} else {
+		err = run(flag.Args(), *stages)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
 		os.Exit(1)
 	}
+}
+
+// runFlight validates each dump's invariants via flight.Validate, then
+// prints the outcome-code histogram so a breach dump's evidence mix
+// (scored vs shed vs degraded) is visible at a glance.
+func runFlight(paths []string) error {
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		n, err := flight.Validate(bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		byCode := map[string]int{}
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var rec flight.Record
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			byCode[rec.Code.String()]++
+		}
+		codes := make([]string, 0, len(byCode))
+		for c := range byCode {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		fmt.Printf("%s: %d flight records ok\n", path, n)
+		for _, c := range codes {
+			fmt.Printf("  %-12s %d\n", c, byCode[c])
+		}
+	}
+	return nil
 }
 
 func run(paths []string, stages bool) error {

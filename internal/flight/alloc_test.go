@@ -1,0 +1,23 @@
+//go:build !race
+
+package flight
+
+import "testing"
+
+// The ring write and the disabled path must not allocate — they sit on
+// the per-request hot path. Excluded under -race (instrumentation
+// allocates).
+func TestFlightLogZeroAlloc(t *testing.T) {
+	r := New(1024)
+	rec := Record{TimeUS: 9, Key: 7, Code: CodeScored, Pairs: 64, CostNano: 3}
+	if n := testing.AllocsPerRun(200, func() { r.Log(rec) }); n != 0 {
+		t.Fatalf("Log allocates %v/op, want 0", n)
+	}
+	var nilRec *Recorder
+	if n := testing.AllocsPerRun(200, func() { nilRec.Log(rec) }); n != 0 {
+		t.Fatalf("disabled Log allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { _ = r.IsStraggler(10) }); n != 0 {
+		t.Fatalf("IsStraggler allocates %v/op, want 0", n)
+	}
+}

@@ -1,0 +1,127 @@
+package flight
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Dumper snapshots a recorder's ring to JSONL files when evidence is
+// wanted: on SLO breach transitions and on p99-straggler requests.
+// Triggers are rate-limited (minGap between dumps) so a sustained
+// breach produces a bounded number of files, and the async variant
+// never blocks a request path.
+type Dumper struct {
+	rec    *Recorder
+	dir    string
+	minGap time.Duration
+
+	mu    sync.Mutex
+	last  time.Time
+	n     int
+	paths []string
+
+	busy atomic.Bool // one async dump in flight at a time
+}
+
+// NewDumper returns a dumper writing numbered dumps of rec into dir.
+// dir is created on the first trigger. minGap <= 0 defaults to 1s.
+func NewDumper(rec *Recorder, dir string, minGap time.Duration) *Dumper {
+	if minGap <= 0 {
+		minGap = time.Second
+	}
+	return &Dumper{rec: rec, dir: dir, minGap: minGap}
+}
+
+// Trigger writes a dump named flight-NNN-<reason>.jsonl and returns
+// its path, or "" when rate-limited (not an error: the previous dump
+// already holds the overlapping evidence). Nil-safe.
+func (d *Dumper) Trigger(reason string) (string, error) {
+	if d == nil || d.rec == nil {
+		return "", nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := time.Now()
+	if d.n > 0 && now.Sub(d.last) < d.minGap {
+		return "", nil
+	}
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(d.dir, fmt.Sprintf("flight-%03d-%s.jsonl", d.n, sanitizeReason(reason)))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if _, err := d.rec.WriteJSONL(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	d.last = now
+	d.n++
+	d.paths = append(d.paths, path)
+	return path, nil
+}
+
+// TriggerAsync fires Trigger on a fresh goroutine, dropping the call
+// if a dump is already in flight — the request hot path must never
+// wait on the filesystem.
+func (d *Dumper) TriggerAsync(reason string) {
+	if d == nil || d.rec == nil {
+		return
+	}
+	if !d.busy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer d.busy.Store(false)
+		_, _ = d.Trigger(reason)
+	}()
+}
+
+// Paths returns the dump files written so far, in order.
+func (d *Dumper) Paths() []string {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.paths...)
+}
+
+// Dir returns the dump directory.
+func (d *Dumper) Dir() string {
+	if d == nil {
+		return ""
+	}
+	return d.dir
+}
+
+// sanitizeReason keeps reasons filename-safe.
+func sanitizeReason(s string) string {
+	if s == "" {
+		return "dump"
+	}
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '_':
+		case c >= 'A' && c <= 'Z':
+			b[i] = c + ('a' - 'A')
+		default:
+			b[i] = '-'
+		}
+	}
+	const maxReason = 48
+	if len(b) > maxReason {
+		b = b[:maxReason]
+	}
+	return string(b)
+}

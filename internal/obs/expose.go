@@ -15,21 +15,43 @@ import (
 // JSON snapshots, an http.Handler, and expvar publishing. All of it
 // renders from atomic loads; nothing here blocks the hot recording path.
 
-// MetricSnapshot is one metric's point-in-time JSON view.
+// MetricSnapshot is one metric's point-in-time JSON view. Value is set
+// (non-nil) exactly for scalar kinds (counter/gauge), Count and Sum
+// exactly for histograms — as pointers, so a zero-valued counter still
+// serializes an explicit "value": 0 instead of omitting the field
+// (consumers must be able to tell "zero" from "absent").
 type MetricSnapshot struct {
 	Name string `json:"name"`
 	Type string `json:"type"` // counter | gauge | histogram
 	Help string `json:"help,omitempty"`
 	// Value is the scalar value of counters and gauges.
-	Value float64 `json:"value,omitempty"`
+	Value *float64 `json:"value,omitempty"`
 	// Histogram fields.
-	Count   int64         `json:"count,omitempty"`
-	Sum     int64         `json:"sum,omitempty"`
+	Count   *int64        `json:"count,omitempty"`
+	Sum     *int64        `json:"sum,omitempty"`
 	Mean    float64       `json:"mean,omitempty"`
 	P50     float64       `json:"p50,omitempty"`
 	P95     float64       `json:"p95,omitempty"`
 	P99     float64       `json:"p99,omitempty"`
 	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// ScalarValue returns the scalar value of a counter/gauge snapshot, or
+// 0 when absent (histograms).
+func (s MetricSnapshot) ScalarValue() float64 {
+	if s.Value == nil {
+		return 0
+	}
+	return *s.Value
+}
+
+// HistCount returns the observation count of a histogram snapshot, or 0
+// when absent (scalars).
+func (s MetricSnapshot) HistCount() int64 {
+	if s.Count == nil {
+		return 0
+	}
+	return *s.Count
 }
 
 // BucketCount is one non-empty histogram bucket: the inclusive upper
@@ -48,18 +70,20 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 	}
 	_, order := r.metrics()
 	out := make([]MetricSnapshot, 0, len(order))
+	scalar := func(v float64) *float64 { return &v }
+	count := func(v int64) *int64 { return &v }
 	for _, m := range order {
 		switch m := m.(type) {
 		case *Counter:
-			out = append(out, MetricSnapshot{Name: m.name, Type: "counter", Help: m.help, Value: float64(m.Load())})
+			out = append(out, MetricSnapshot{Name: m.name, Type: "counter", Help: m.help, Value: scalar(float64(m.Load()))})
 		case *Gauge:
-			out = append(out, MetricSnapshot{Name: m.name, Type: "gauge", Help: m.help, Value: float64(m.Load())})
+			out = append(out, MetricSnapshot{Name: m.name, Type: "gauge", Help: m.help, Value: scalar(float64(m.Load()))})
 		case gaugeFunc:
-			out = append(out, MetricSnapshot{Name: m.name, Type: m.typ, Help: m.help, Value: m.f()})
+			out = append(out, MetricSnapshot{Name: m.name, Type: m.typ, Help: m.help, Value: scalar(m.f())})
 		case *Histogram:
 			s := MetricSnapshot{
 				Name: m.name, Type: "histogram", Help: m.help,
-				Count: m.Count(), Sum: m.Sum(), Mean: m.Mean(),
+				Count: count(m.Count()), Sum: count(m.Sum()), Mean: m.Mean(),
 				P50: m.Quantile(0.50), P95: m.Quantile(0.95), P99: m.Quantile(0.99),
 			}
 			for k, n := range m.BucketCounts() {

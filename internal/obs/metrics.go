@@ -157,11 +157,29 @@ func (h *Histogram) BucketCounts() []int64 {
 	if h == nil {
 		return nil
 	}
-	out := make([]int64, len(h.buckets))
-	for i := range h.buckets {
-		out[i] = h.buckets[i].Load()
+	return h.BucketCountsInto(make([]int64, 0, len(h.buckets)))
+}
+
+// BucketCountsInto appends a snapshot of the per-bucket counts to dst
+// and returns it, allocating only when dst lacks capacity. Periodic
+// samplers (the SLO engine) call this every tick with a reused buffer.
+func (h *Histogram) BucketCountsInto(dst []int64) []int64 {
+	if h == nil {
+		return dst
 	}
-	return out
+	for i := range h.buckets {
+		dst = append(dst, h.buckets[i].Load())
+	}
+	return dst
+}
+
+// NumBuckets returns the bucket count of the histogram's layout (0 for
+// a nil histogram), sizing reusable BucketCountsInto buffers.
+func (h *Histogram) NumBuckets() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.buckets)
 }
 
 // Quantile estimates the value at quantile q in [0, 1] using the
@@ -174,7 +192,19 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
-	counts := h.BucketCounts()
+	return quantileOf(h.BucketCounts(), q, h.linear)
+}
+
+// QuantileLog2 estimates quantile q over a raw log2 bucket-count slice,
+// using the same nearest-rank + interpolation rules as
+// Histogram.Quantile. It exists for consumers that window a histogram
+// by differencing two BucketCounts snapshots (the SLO engine) and need
+// quantiles of the delta distribution. Allocation-free.
+func QuantileLog2(counts []int64, q float64) float64 {
+	return quantileOf(counts, q, false)
+}
+
+func quantileOf(counts []int64, q float64, linear bool) float64 {
 	var total int64
 	for _, c := range counts {
 		total += c
@@ -198,7 +228,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 			continue
 		}
 		if seen+c >= rank {
-			if h.linear {
+			if linear {
 				return float64(k)
 			}
 			lo, hi := log2BucketBounds(k)

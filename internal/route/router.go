@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/cost"
+	"repro/internal/flight"
 	"repro/internal/matchers"
 	"repro/internal/obs"
 	"repro/internal/record"
@@ -50,6 +51,10 @@ type Config struct {
 	// Registry receives the router's metrics. A private unexposed
 	// registry is used when nil.
 	Registry *obs.Registry
+	// Flight, when non-nil, receives one per-pair flight record per
+	// routed pair, timestamped on the router's clock — deterministic
+	// under a VirtualClock.
+	Flight *flight.Recorder
 }
 
 // Outcome describes how one pair was routed.
@@ -108,9 +113,10 @@ type tier struct {
 // the virtual clock and per-pair outcomes independent of interleaving,
 // which the hash-derived randomness guarantees.
 type Router struct {
-	cfg   Config
-	clock Clock
-	tiers []*tier
+	cfg       Config
+	clock     Clock
+	tiers     []*tier
+	flightRec *flight.Recorder
 
 	pairs       *obs.Counter
 	escalations *obs.Counter
@@ -140,6 +146,7 @@ func New(cfg Config, backends ...backend.Backend) (*Router, error) {
 	r := &Router{
 		cfg:         cfg,
 		clock:       cfg.Clock,
+		flightRec:   cfg.Flight,
 		pairs:       reg.Counter("route_pairs_total", "pairs routed"),
 		escalations: reg.Counter("route_escalations_total", "low-confidence escalations to the next tier"),
 		failovers:   reg.Counter("route_failovers_total", "tier failures forcing the next tier"),
@@ -263,6 +270,9 @@ func (r *Router) routePair(sub matchers.Task, o *Outcome, sc *routeScratch) {
 	o.Latency = r.clock.Now() - start
 	r.latencyUS.Observe(o.Latency.Microseconds())
 	r.costMicro.Observe(int64(o.CostUSD * 1e6))
+	if r.flightRec != nil {
+		r.logFlight(ph, o)
+	}
 }
 
 // callTier runs the retry/hedge loop of one tier for a single-pair

@@ -1,0 +1,67 @@
+package route
+
+import (
+	"fmt"
+
+	"repro/internal/flight"
+	"repro/internal/slo"
+)
+
+// BindSLOs binds routing-level objectives to an SLO engine:
+//
+//   - error ratios expand to one objective per tier — the tier's
+//     terminal-failure rate over its attempts, named
+//     "<name>_<backend>" so each tier burns its own budget;
+//   - latency ceilings bind the router's per-pair latency histogram
+//     (µs, backoffs included);
+//   - cost budgets bind the routed bill per 1K routed pairs.
+//
+// F1 floors are rejected: routed serving traffic is unlabeled.
+func (r *Router) BindSLOs(e *slo.Engine, specs []slo.Spec) error {
+	for _, sp := range specs {
+		switch sp.Kind {
+		case slo.KindRatio:
+			for _, t := range r.tiers {
+				t := t
+				tsp := sp
+				tsp.Name = sp.Name + "_" + sanitizeMetricName(t.backend.Name())
+				if err := e.AddRatio(tsp,
+					func() float64 { return float64(t.failures.Load()) },
+					func() float64 { return float64(t.attempts.Load()) }); err != nil {
+					return err
+				}
+			}
+		case slo.KindLatency:
+			if err := e.AddLatency(sp, r.latencyUS); err != nil {
+				return err
+			}
+		case slo.KindCost:
+			if err := e.AddCost(sp, r.TotalCostUSD,
+				func() float64 { return float64(r.pairs.Load()) }); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("route: unsupported SLO kind %s for routing", sp.Kind)
+		}
+	}
+	return nil
+}
+
+// logFlight writes one per-pair flight record after routePair decided.
+// Timestamps come from the router's clock, so virtual-clock routing
+// experiments produce byte-identical flight records on replay.
+func (r *Router) logFlight(ph uint64, o *Outcome) {
+	code := flight.CodeScored
+	if o.Degraded {
+		code = flight.CodeDegraded
+	}
+	r.flightRec.Log(flight.Record{
+		TimeUS:    r.clock.Now().Microseconds(),
+		Key:       ph,
+		Code:      code,
+		Tier:      int8(o.Tier),
+		Pairs:     1,
+		PredictUS: flight.ClampUS(o.Latency.Microseconds()),
+		CostNano:  int64(o.CostUSD * 1e9),
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/flight"
 	"repro/internal/matchers"
 	"repro/internal/obs"
 	"repro/internal/record"
@@ -50,6 +51,11 @@ type request struct {
 	res      *MatchResult
 	done     chan struct{}
 	enqueued time.Time
+	// pickup is when a worker drained the request from the queue; key is
+	// the XOR-folded hash of the request's canonical pair keys (0 when
+	// the flight recorder is off). Both exist for flight records only.
+	pickup time.Time
+	key    uint64
 
 	// span covers the request's whole life (admission through scoring);
 	// qspan is its "queue" child, ended when a worker picks the request
@@ -95,11 +101,15 @@ func (s *Server) Submit(ctx context.Context, pairs []record.Pair) (*MatchResult,
 	var misses []record.Pair
 	var keys []string
 	var slots []int
+	var kh uint64
 	if s.cacheable() {
 		bufp := keyBufPool.Get().(*[]byte)
 		buf := *bufp
 		for i, p := range pairs {
 			buf = s.appendPairKey(buf[:0], p)
+			if s.flight != nil {
+				kh ^= flight.Hash(buf)
+			}
 			if match, ok := s.cache.GetBytes(buf); ok {
 				res.Preds[i], res.Cached[i] = match, true
 				continue
@@ -124,9 +134,10 @@ func (s *Server) Submit(ctx context.Context, pairs []record.Pair) (*MatchResult,
 		s.metrics.observeLatency(time.Since(start))
 		span.SetStr("outcome", "cache")
 		span.End()
+		s.flightEdge(kh, flight.CodeCacheHit, len(pairs))
 		return res, nil
 	}
-	return s.submitMisses(ctx, start, span, res, misses, keys, slots)
+	return s.submitMisses(ctx, start, span, res, misses, keys, slots, kh)
 }
 
 // submitMisses queues the cache-miss pairs and blocks until they are all
@@ -134,7 +145,7 @@ func (s *Server) Submit(ctx context.Context, pairs []record.Pair) (*MatchResult,
 // request paths. res, misses, keys and slots must be heap-owned by the
 // request: on a deadline-expired return the owning worker may still touch
 // them, so callers must not recycle these buffers through a pool.
-func (s *Server) submitMisses(ctx context.Context, start time.Time, span *obs.Span, res *MatchResult, misses []record.Pair, keys []string, slots []int) (*MatchResult, error) {
+func (s *Server) submitMisses(ctx context.Context, start time.Time, span *obs.Span, res *MatchResult, misses []record.Pair, keys []string, slots []int, kh uint64) (*MatchResult, error) {
 	req := &request{
 		ctx:      ctx,
 		pairs:    misses,
@@ -143,6 +154,7 @@ func (s *Server) submitMisses(ctx context.Context, start time.Time, span *obs.Sp
 		res:      res,
 		done:     make(chan struct{}),
 		enqueued: start,
+		key:      kh,
 		span:     span,
 		qspan:    span.Child("queue"),
 	}
@@ -152,6 +164,7 @@ func (s *Server) submitMisses(ctx context.Context, start time.Time, span *obs.Sp
 		req.qspan.End()
 		span.SetStr("outcome", "shed")
 		span.End()
+		s.flightEdge(kh, shedCode(err), len(misses))
 		return nil, err
 	}
 	select {
@@ -173,6 +186,17 @@ func (s *Server) submitMisses(ctx context.Context, start time.Time, span *obs.Sp
 // so sustained local overload fails new work over instead of re-queueing
 // against a saturated path.
 func (s *Server) enqueue(req *request) error {
+	// SLO-breach admission guard: while an objective is breached, shed a
+	// configured fraction of new cache-miss traffic before it can deepen
+	// the queue. A round-robin counter (not randomness) makes the shed
+	// fraction exact and the decision deterministic per arrival index.
+	if pp := s.preShed.Load(); pp > 0 && int64(s.preShedN.Add(1)%1000) < pp {
+		s.metrics.shedSLO.Add(1)
+		if s.router != nil {
+			s.router.NoteShed(ErrSLOShed)
+		}
+		return ErrSLOShed
+	}
 	s.admit.RLock()
 	defer s.admit.RUnlock()
 	if s.draining {
@@ -259,14 +283,17 @@ func (s *Server) coalesce(first *request) []*request {
 func (s *Server) runBatch(batch []*request) {
 	live := make([]*request, 0, len(batch))
 	npairs := 0
+	pickup := time.Now()
 	for _, r := range batch {
 		// Queue wait ends at pickup, whether or not the request is still
 		// live.
 		s.metrics.queueWait.ObserveSince(r.enqueued)
+		r.pickup = pickup
 		r.qspan.End()
 		if r.ctx != nil && r.ctx.Err() != nil {
 			s.metrics.pairsExpired.Add(int64(len(r.pairs)))
 			r.span.SetStr("outcome", "expired")
+			s.flightScored(r, flight.CodeExpired, -1, 0)
 			r.finish()
 			continue
 		}
@@ -324,6 +351,7 @@ func (s *Server) scoreCoalesced(ctx context.Context, live []*request, npairs int
 	task := matchers.Task{Ctx: ctx, Opts: s.opts}
 	var preds []bool
 	var sc *batchScratch
+	t0 := time.Now()
 	if bp, ok := s.matcher.(matchers.BatchPredictor); ok {
 		sc = batchPool.Get().(*batchScratch)
 		task.Pairs = sc.pairs[:0]
@@ -342,6 +370,7 @@ func (s *Server) scoreCoalesced(ctx context.Context, live []*request, npairs int
 		}
 		preds = s.matcher.Predict(task)
 	}
+	predictUS := time.Since(t0).Microseconds()
 	i := 0
 	for _, r := range live {
 		for j := range r.pairs {
@@ -349,6 +378,7 @@ func (s *Server) scoreCoalesced(ctx context.Context, live []*request, npairs int
 			i++
 		}
 		r.span.SetStr("outcome", "ok")
+		s.flightScored(r, flight.CodeScored, -1, predictUS)
 		r.finish()
 	}
 	if sc != nil {
@@ -366,6 +396,7 @@ func (s *Server) scoreCoalesced(ctx context.Context, live []*request, npairs int
 func (s *Server) scoreSingles(ctx context.Context, live []*request) {
 	single := make([]record.Pair, 1)
 	for _, r := range live {
+		t0 := time.Now()
 		for j, p := range r.pairs {
 			single[0] = p
 			preds := s.matcher.Predict(matchers.Task{Pairs: single, Ctx: ctx, Opts: s.opts})
@@ -373,6 +404,7 @@ func (s *Server) scoreSingles(ctx context.Context, live []*request) {
 			s.metrics.pairsScored.Add(1)
 		}
 		r.span.SetStr("outcome", "ok")
+		s.flightScored(r, flight.CodeScored, -1, time.Since(t0).Microseconds())
 		r.finish()
 	}
 }
@@ -382,16 +414,20 @@ func (s *Server) scoreSingles(ctx context.Context, live []*request) {
 // matching offline cmd/emmatch output for the same pairs.
 func (s *Server) scoreRequests(ctx context.Context, live []*request) {
 	for _, r := range live {
+		t0 := time.Now()
 		preds, err := matchers.PredictCtx(r.ctx, s.matcher, matchers.Task{Pairs: r.pairs, Ctx: ctx, Opts: s.opts})
+		predictUS := time.Since(t0).Microseconds()
 		if err == nil {
 			for j := range r.pairs {
 				s.deliver(r, j, preds[j])
 			}
 			s.metrics.pairsScored.Add(int64(len(r.pairs)))
 			r.span.SetStr("outcome", "ok")
+			s.flightScored(r, flight.CodeScored, -1, predictUS)
 		} else {
 			s.metrics.pairsExpired.Add(int64(len(r.pairs)))
 			r.span.SetStr("outcome", "expired")
+			s.flightScored(r, flight.CodeExpired, -1, predictUS)
 		}
 		r.finish()
 	}

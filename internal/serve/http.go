@@ -54,12 +54,14 @@ type errorResponse struct {
 }
 
 // Handler returns the service's HTTP routes: POST /match, GET /healthz,
-// GET /stats, GET /metrics (Prometheus text), GET /debug/vars (expvar).
+// GET /stats, GET /slo (objective states; 404 when no SLOs are
+// configured), GET /metrics (Prometheus text), GET /debug/vars (expvar).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/match", s.handleMatch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/slo", s.handleSLO)
 	mux.Handle("/metrics", s.reg.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	return mux

@@ -367,6 +367,14 @@ func listenServer(m matchers.Matcher, cfg Config) (url string, stop func(), err 
 	}, nil
 }
 
+// Listen serves srv.Handler() on an ephemeral loopback port and returns
+// the base URL plus a stop that closes the listener (the server itself
+// still needs Shutdown). cmd/emserve's loadgen modes use it to stand up
+// the full HTTP surface — /match, /stats, /slo — without a fixed port.
+func Listen(srv *Server) (url string, stop func(), err error) {
+	return listen(srv)
+}
+
 // listen serves srv.Handler() on an ephemeral loopback port.
 func listen(srv *Server) (url string, stop func(), err error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -18,7 +19,10 @@ type metrics struct {
 	requestsOK       *obs.Counter // requests answered with predictions
 	shedQueueFull    *obs.Counter // rejected: admission queue full (429)
 	shedDraining     *obs.Counter // rejected: draining (503)
+	shedSLO          *obs.Counter // rejected: SLO-breach admission guard (429)
 	deadlineExceeded *obs.Counter // failed: deadline expired waiting (503)
+
+	sloBreaches *obs.Counter // SLO objectives entering BREACH
 
 	pairsScored  *obs.Counter // pairs the matcher actually scored
 	pairsCached  *obs.Counter // pairs answered from the prediction cache
@@ -41,6 +45,8 @@ func (m *metrics) init(reg *obs.Registry, maxBatch int) {
 	m.requestsOK = reg.Counter("emserve_requests_ok_total", "requests answered with predictions")
 	m.shedQueueFull = reg.Counter("emserve_shed_queue_full_total", "requests rejected with 429: admission queue full")
 	m.shedDraining = reg.Counter("emserve_shed_draining_total", "requests rejected with 503: server draining")
+	m.shedSLO = reg.Counter("emserve_shed_slo_total", "requests rejected with 429 by the SLO-breach admission guard")
+	m.sloBreaches = reg.Counter("emserve_slo_breaches_total", "SLO objectives entering BREACH")
 	m.deadlineExceeded = reg.Counter("emserve_deadline_exceeded_total", "requests failed with 503: deadline expired while queued")
 	m.pairsScored = reg.Counter("emserve_pairs_scored_total", "pairs scored by the matcher")
 	m.pairsCached = reg.Counter("emserve_pairs_cached_total", "pairs answered from the prediction cache")
@@ -65,7 +71,14 @@ type Stats struct {
 	RequestsOK       int64 `json:"requests_ok"`
 	ShedQueueFull    int64 `json:"shed_queue_full"`
 	ShedDraining     int64 `json:"shed_draining"`
+	ShedSLO          int64 `json:"shed_slo"`
 	DeadlineExceeded int64 `json:"deadline_exceeded"`
+
+	// SLOState is the worst objective state ("ok"/"warn"/"breach");
+	// empty when no SLOs are configured. SLOBreaches counts objectives
+	// that entered BREACH since startup.
+	SLOState    string `json:"slo_state,omitempty"`
+	SLOBreaches int64  `json:"slo_breaches,omitempty"`
 
 	PairsScored  int64 `json:"pairs_scored"`
 	PairsCached  int64 `json:"pairs_cached"`
@@ -120,6 +133,7 @@ func (s *Server) Stats() Stats {
 		RequestsOK:       m.requestsOK.Load(),
 		ShedQueueFull:    m.shedQueueFull.Load(),
 		ShedDraining:     m.shedDraining.Load(),
+		ShedSLO:          m.shedSLO.Load(),
 		DeadlineExceeded: m.deadlineExceeded.Load(),
 		PairsScored:      m.pairsScored.Load(),
 		PairsCached:      m.pairsCached.Load(),
@@ -152,6 +166,10 @@ func (s *Server) Stats() Stats {
 		rs := s.router.Stats()
 		st.Routed = &rs
 		st.TotalCostUSD += rs.CostUSD
+	}
+	if s.sloEngine != nil {
+		st.SLOState = strings.ToLower(s.sloEngine.Worst().String())
+		st.SLOBreaches = m.sloBreaches.Load()
 	}
 	return st
 }

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"context"
+	"time"
 
+	"repro/internal/flight"
 	"repro/internal/matchers"
 	"repro/internal/route"
 )
@@ -18,17 +20,27 @@ func (s *Server) scoreRouted(ctx context.Context, live []*request, npairs int) {
 	for _, r := range live {
 		task.Pairs = append(task.Pairs, r.pairs...)
 	}
+	t0 := time.Now()
 	outcomes := s.router.RoutePairs(task, sc.outcomes[:0])
+	predictUS := time.Since(t0).Microseconds()
 	i := 0
 	for _, r := range live {
+		// The request-level flight record carries the deepest tier any of
+		// its pairs escalated to; per-pair tiers live in the router's own
+		// flight records.
+		maxTier := int8(-1)
 		for j := range r.pairs {
 			o := &outcomes[i]
 			s.deliver(r, j, o.Match)
 			r.res.CostUSD += o.CostUSD
 			r.res.Tokens += int(o.Tokens)
+			if t := int8(o.Tier); t > maxTier {
+				maxTier = t
+			}
 			i++
 		}
 		r.span.SetStr("outcome", "ok")
+		s.flightScored(r, flight.CodeScored, maxTier, predictUS)
 		r.finish()
 	}
 	sc.pairs = task.Pairs[:0]

@@ -55,14 +55,17 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cost"
+	"repro/internal/flight"
 	"repro/internal/matchers"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/record"
 	"repro/internal/route"
+	"repro/internal/slo"
 	"repro/internal/textsim"
 )
 
@@ -172,6 +175,40 @@ type Config struct {
 	// — the router already charges every attempt, including failed ones.
 	// Admission shed signals feed the router's entry-tier breaker.
 	Router *route.Router
+
+	// SLOSpecs, when non-empty, builds the burn-rate SLO engine
+	// (internal/slo) over the server's own metrics: latency-quantile
+	// ceilings bind the request latency histogram, shed/error ratios the
+	// admission counters, cost budgets the priced (and routed) bill.
+	// F1 floors are rejected — serving traffic is unlabeled.
+	SLOSpecs []slo.Spec
+	// SLOClock drives the engine; nil means the real clock. Tests inject
+	// a slo.VirtualClock (route.VirtualClock satisfies it too).
+	SLOClock slo.Clock
+	// SLOResolution overrides the engine's sample spacing; <=0 derives
+	// it from the tightest short window (five samples per window,
+	// clamped to [50ms, 1s]).
+	SLOResolution time.Duration
+	// SLOTick is the background evaluation interval: 0 ticks at the
+	// engine resolution, <0 starts no loop (tests call TickSLO under a
+	// virtual clock), >0 overrides.
+	SLOTick time.Duration
+	// BreachShedPermille is the admission-guard strength: while any
+	// objective is in BREACH, this fraction (per mille) of new
+	// cache-miss requests is shed with 429 before queueing. 0 disables
+	// the guard — the engine then only observes.
+	BreachShedPermille int
+	// OnSLOTransition, when non-nil, is called on every objective state
+	// change, after the server's own breach handling.
+	OnSLOTransition func(slo.Transition)
+
+	// Flight, when non-nil, receives one compact record per request
+	// (internal/flight): cache hits, sheds, expiries and scored requests
+	// alike, written lock-free from the dispatcher.
+	Flight *flight.Recorder
+	// FlightDump, when non-nil, snapshots Flight's ring to JSONL on SLO
+	// breach transitions and on p99-straggler requests.
+	FlightDump *flight.Dumper
 }
 
 // StartupInfo records the cold-train vs warm-restore outcome of matcher
@@ -234,6 +271,19 @@ type Server struct {
 	reg     *obs.Registry
 	metrics metrics
 	started time.Time
+
+	// SLO machinery (nil/zero when Config.SLOSpecs is empty): the
+	// burn-rate engine, the stop signal of its tick loop, and the
+	// admission-guard strength in effect (permille of cache-miss
+	// requests shed while breached; 0 when healthy).
+	sloEngine *slo.Engine
+	sloStop   chan struct{}
+	preShed   atomic.Int64
+	preShedN  atomic.Uint64
+
+	// flight recorder + breach/straggler evidence dumper (nil disabled).
+	flight *flight.Recorder
+	fdump  *flight.Dumper
 }
 
 // New wraps a trained matcher in the serving pipeline and starts its
@@ -333,9 +383,23 @@ func New(m matchers.Matcher, cfg Config) (*Server, error) {
 		})
 	}
 	obs.PublishExpvar("emserve", s.reg)
+	s.flight = cfg.Flight
+	s.fdump = cfg.FlightDump
+	if err := s.initSLO(); err != nil {
+		return nil, err
+	}
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
+	}
+	if s.sloEngine != nil && cfg.SLOTick >= 0 {
+		tick := cfg.SLOTick
+		if tick <= 0 {
+			tick = s.sloEngine.Resolution()
+		}
+		s.sloStop = make(chan struct{})
+		s.workers.Add(1)
+		go s.sloLoop(tick)
 	}
 	return s, nil
 }
@@ -370,6 +434,9 @@ func (s *Server) Shutdown() {
 	// No sender can be mid-send now: enqueue() checks draining under the
 	// shared lock and we just held it exclusively.
 	close(s.queue)
+	if s.sloStop != nil {
+		close(s.sloStop)
+	}
 	s.workers.Wait()
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/record"
 	"repro/internal/snap"
 	"repro/internal/wire"
@@ -71,6 +72,7 @@ func (s *Server) ServeWire(ctx context.Context, body, dst []byte) (int, []byte) 
 	cacheable := s.cacheable()
 	nmiss := len(views)
 	var preds, cached []bool
+	var kh uint64
 	if cacheable {
 		if cap(sc.preds) < len(views) {
 			sc.preds = make([]bool, len(views))
@@ -81,6 +83,9 @@ func (s *Server) ServeWire(ctx context.Context, body, dst []byte) (int, []byte) 
 		nmiss = 0
 		for i, v := range views {
 			sc.key = appendWireKey(sc.key[:0], v)
+			if s.flight != nil {
+				kh ^= flight.Hash(sc.key)
+			}
 			match, ok := s.cache.GetBytes(sc.key)
 			preds[i], cached[i] = match, ok
 			if !ok {
@@ -99,6 +104,7 @@ func (s *Server) ServeWire(ctx context.Context, body, dst []byte) (int, []byte) 
 		s.metrics.observeLatency(time.Since(start))
 		span.SetStr("outcome", "cache")
 		span.End()
+		s.flightEdge(kh, flight.CodeCacheHit, len(views))
 		e := &sc.enc
 		e.Reset()
 		wire.AppendResponsePayload(e, preds, cached, 0, 0, time.Since(start).Microseconds())
@@ -142,7 +148,7 @@ func (s *Server) ServeWire(ctx context.Context, body, dst []byte) (int, []byte) 
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
-	out, err := s.submitMisses(ctx, start, span, res, misses, keys, slots)
+	out, err := s.submitMisses(ctx, start, span, res, misses, keys, slots, kh)
 	if err != nil {
 		return s.wireError(dst, &sc.enc, statusFor(err), err.Error())
 	}

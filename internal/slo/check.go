@@ -1,0 +1,90 @@
+package slo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Measures is a one-shot summary of a finished run (a loadgen replay,
+// one emroute sweep arm), checked against specs without windowing —
+// the batch counterpart of the Engine for `-slo-assert` flags.
+type Measures struct {
+	LatencyP50US float64
+	LatencyP95US float64
+	LatencyP99US float64
+	ShedRate     float64 // shed requests / total requests
+	ErrorRate    float64 // errored requests / total requests
+	CostPer1K    float64 // dollars per 1000 scored pairs
+	F1           float64
+	HasF1        bool // false when the run had no labels
+}
+
+// Violation is one objective a run failed.
+type Violation struct {
+	Spec  Spec
+	Value float64
+}
+
+// String renders "p99 = 12ms exceeds 5ms"-style messages.
+func (v Violation) String() string {
+	rel := "exceeds"
+	if v.Spec.Floor {
+		rel = "below floor"
+	}
+	return fmt.Sprintf("%s = %s %s %s", v.Spec.Name,
+		v.Spec.FormatValue(v.Value), rel, v.Spec.FormatValue(v.Spec.Limit))
+}
+
+// Check evaluates every spec against m and returns the violations.
+// Latency objectives support the quantiles Measures carries (p50, p95,
+// p99); other quantiles are an error. F1 floors are skipped (not
+// violated) when the run was unlabeled.
+func Check(specs []Spec, m Measures) ([]Violation, error) {
+	var out []Violation
+	for _, sp := range specs {
+		var v float64
+		switch sp.Kind {
+		case KindLatency:
+			switch sp.Quantile {
+			case 0.50:
+				v = m.LatencyP50US
+			case 0.95:
+				v = m.LatencyP95US
+			case 0.99:
+				v = m.LatencyP99US
+			default:
+				return nil, fmt.Errorf("slo: %s: one-shot checks support p50/p95/p99 only", sp)
+			}
+		case KindRatio:
+			if sp.Name == "error" {
+				v = m.ErrorRate
+			} else {
+				v = m.ShedRate
+			}
+		case KindCost:
+			v = m.CostPer1K
+		case KindF1:
+			if !m.HasF1 {
+				continue
+			}
+			v = m.F1
+		}
+		if sp.Floor {
+			if v < sp.Limit {
+				out = append(out, Violation{Spec: sp, Value: v})
+			}
+		} else if v > sp.Limit {
+			out = append(out, Violation{Spec: sp, Value: v})
+		}
+	}
+	return out, nil
+}
+
+// FormatViolations joins violations for error messages.
+func FormatViolations(vs []Violation) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,44 @@
+package slo
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock is the engine's time source: monotonic elapsed time since an
+// arbitrary epoch. The serving path passes the real clock; tests and
+// the emroute sweep pass a virtual one, making every burn-rate window
+// and state transition deterministic. route.RealClock and
+// route.VirtualClock both satisfy it.
+type Clock interface {
+	Now() time.Duration
+}
+
+// VirtualClock is a deterministic manually-advanced clock.
+type VirtualClock struct {
+	now atomic.Int64
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Duration { return time.Duration(c.now.Load()) }
+
+// Advance moves the clock forward by d.
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now.Add(int64(d))
+	}
+}
+
+// Set jumps the clock to an absolute elapsed time.
+func (c *VirtualClock) Set(d time.Duration) { c.now.Store(int64(d)) }
+
+// realClock anchors the wall clock at construction.
+type realClock struct {
+	epoch time.Time
+}
+
+func (c realClock) Now() time.Duration { return time.Since(c.epoch) }
+
+// RealClock returns a wall clock with epoch now — the default engine
+// clock in production serving.
+func RealClock() Clock { return realClock{epoch: time.Now()} }

@@ -1,0 +1,117 @@
+package slo
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseSpecs(t *testing.T) {
+	specs, err := ParseSpecs("p99<=5ms, shed<=1%@30s/5s, error<=0.5%, cost<=$0.25, f1>=0.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 5 {
+		t.Fatalf("got %d specs, want 5", len(specs))
+	}
+	p99 := specs[0]
+	if p99.Kind != KindLatency || p99.Quantile != 0.99 || p99.Limit != 5000 {
+		t.Fatalf("p99 spec = %+v", p99)
+	}
+	if p99.Long != time.Minute || p99.Short != 10*time.Second {
+		t.Fatalf("default windows = %v/%v", p99.Long, p99.Short)
+	}
+	shed := specs[1]
+	if shed.Kind != KindRatio || shed.Limit != 0.01 || shed.Long != 30*time.Second || shed.Short != 5*time.Second {
+		t.Fatalf("shed spec = %+v", shed)
+	}
+	if e := specs[2]; e.Name != "error" || e.Limit != 0.005 {
+		t.Fatalf("error spec = %+v", e)
+	}
+	if c := specs[3]; c.Kind != KindCost || c.Limit != 0.25 {
+		t.Fatalf("cost spec = %+v", c)
+	}
+	if f := specs[4]; f.Kind != KindF1 || !f.Floor || f.Limit != 0.7 {
+		t.Fatalf("f1 spec = %+v", f)
+	}
+}
+
+func TestParseSpecVariants(t *testing.T) {
+	// Bare latency numbers mean milliseconds; durations pass through.
+	sp, err := ParseSpec("p50<=2")
+	if err != nil || sp.Limit != 2000 {
+		t.Fatalf("p50<=2 → %+v, %v", sp, err)
+	}
+	sp, err = ParseSpec("p95<=250us")
+	if err != nil || sp.Limit != 250 {
+		t.Fatalf("p95<=250us → %+v, %v", sp, err)
+	}
+	// Bare fractions for ratios.
+	sp, err = ParseSpec("shed<=0.02")
+	if err != nil || sp.Limit != 0.02 {
+		t.Fatalf("shed<=0.02 → %+v, %v", sp, err)
+	}
+	// Long-only window derives short = long/6.
+	sp, err = ParseSpec("p99<=5ms@1m")
+	if err != nil || sp.Long != time.Minute || sp.Short != 10*time.Second {
+		t.Fatalf("@1m → %+v, %v", sp, err)
+	}
+	// Fractional quantiles parse.
+	sp, err = ParseSpec("p99.9<=100ms")
+	if err != nil || sp.Quantile < 0.9989 || sp.Quantile > 0.9991 {
+		t.Fatalf("p99.9 → %+v, %v", sp, err)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"p99",            // no operator
+		"p99>=5ms",       // ceiling with floor operator
+		"f1<=0.7",        // floor with ceiling operator
+		"f1>=1.5",        // out of range
+		"frobs<=1",       // unknown objective
+		"shed<=2",        // ratio above 1 without %
+		"p99<=0ms",       // non-positive limit
+		"p0<=5ms",        // quantile out of range
+		"p200<=5ms",      // quantile out of range
+		"p99<=5ms@5s/5s", // short not below long
+		"p99<=5ms@x/1s",  // malformed window
+		"cost<=-1",       // negative budget
+	} {
+		if _, err := ParseSpecs(bad); err == nil {
+			t.Fatalf("ParseSpecs(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestCheckMeasures(t *testing.T) {
+	specs, err := ParseSpecs("p99<=5ms,shed<=1%,cost<=0.25,f1>=0.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := Measures{LatencyP99US: 4000, ShedRate: 0.001, CostPer1K: 0.1, F1: 0.75, HasF1: true}
+	if vs, err := Check(specs, ok); err != nil || len(vs) != 0 {
+		t.Fatalf("clean measures violated: %v, %v", vs, err)
+	}
+	bad := Measures{LatencyP99US: 9000, ShedRate: 0.05, CostPer1K: 1.5, F1: 0.4, HasF1: true}
+	vs, err := Check(specs, bad)
+	if err != nil || len(vs) != 4 {
+		t.Fatalf("violations = %v, %v; want all 4", vs, err)
+	}
+	if FormatViolations(vs) == "" {
+		t.Fatal("empty violation message")
+	}
+	// Unlabeled runs skip the F1 floor.
+	vs, err = Check(specs, Measures{LatencyP99US: 1, HasF1: false})
+	if err != nil || len(vs) != 0 {
+		t.Fatalf("unlabeled run flagged: %v, %v", vs, err)
+	}
+	// Unsupported quantile in one-shot mode is a hard error.
+	p90, err := ParseSpecs("p90<=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(p90, ok); err == nil {
+		t.Fatal("Check accepted p90 one-shot")
+	}
+}

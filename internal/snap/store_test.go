@@ -91,7 +91,7 @@ func TestStoreMissAndCounters(t *testing.T) {
 	}
 	counters := map[string]float64{}
 	for _, m := range reg.Snapshot() {
-		counters[m.Name] = m.Value
+		counters[m.Name] = m.ScalarValue()
 	}
 	if counters["snap_store_hits_total"] != 1 || counters["snap_store_misses_total"] != 1 || counters["snap_store_saves_total"] != 1 {
 		t.Fatalf("counters = %v", counters)
