@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json bench-json-serve bench-json-obs bench-json-snap bench-json-wire bench-json-dedup bench-json-route bench-json-slo wire-alloc-gate verify-parallel vet serve-smoke route-smoke slo-smoke loadgen-report trace-demo snap-verify dedup-smoke
+.PHONY: build test bench bench-json bench-json-serve bench-json-obs bench-json-snap bench-json-wire bench-json-dedup bench-json-route bench-json-slo bench-json-fleet wire-alloc-gate verify-parallel vet serve-smoke route-smoke slo-smoke fleet-smoke loadgen-report trace-demo snap-verify dedup-smoke
 
 build:
 	$(GO) build ./...
@@ -92,6 +92,34 @@ bench-json-slo:
 		| $(GO) run ./cmd/benchjson -zero 'FlightWrite|FlightDisabled|SLODisabled' > BENCH_pr9.json
 	@cat BENCH_pr9.json
 
+# Sharded-fleet benchmarks: the consistent-hash hot path (Owner,
+# Successors, KeyHash — all gated at 0 allocs/op; the router walks them
+# per pair) plus a re-run of the PR 9 flight/slo rows so the archive
+# overlaps its predecessor, diffed against BENCH_pr9.json (benchjson
+# -baseline exits non-zero on regressions in the overlapping rows).
+bench-json-fleet:
+	$(GO) test -run '^$$' -bench 'RingOwner|RingSuccessors|KeyHash' \
+		-benchtime=1s -benchmem ./internal/fleet > /tmp/bench-fleet.txt
+	$(GO) test -run '^$$' -bench 'FlightWrite|FlightDisabled|FlightSnapshot|SLOTick|SLODisabled' \
+		-benchtime=1s -benchmem ./internal/flight ./internal/slo >> /tmp/bench-fleet.txt
+	cat /tmp/bench-fleet.txt | $(GO) run ./cmd/benchjson \
+		-zero 'RingOwner|RingSuccessors|KeyHash|FlightWrite|FlightDisabled|SLODisabled' \
+		-baseline BENCH_pr9.json > BENCH_pr10.json
+	@cat BENCH_pr10.json
+
+# Sharded-fleet gate: ring/front/canary unit tests (deterministic
+# placement, bounded rebalance, failover, hedging, shed down-weighting,
+# canary bit-identity), the fleet-aware emwatch modes, then the emfleet
+# -smoke end-to-end run — 3 replicas warm-started from one snapshot,
+# bit-identity against a single-replica baseline, a mid-run replica
+# kill that must lose nothing, a rebalance that may move only the dead
+# replica's arc, a canary upgrade gated on mirrored bit-identity, and
+# the >=2x virtual-clock speedup acceptance check.
+fleet-smoke:
+	$(GO) test ./internal/fleet/ ./cmd/emfleet/ ./cmd/emwatch/ -run .
+	$(GO) test ./internal/snap/ -run Canary
+	$(GO) run ./cmd/emfleet -smoke
+
 # SLO/observability gate: burn-rate engine, flight recorder and emwatch
 # unit tests, the serve/route SLO integration tests, then two end-to-end
 # loadgen runs — a clean run under generous objectives that must stay OK
@@ -164,9 +192,12 @@ snap-verify:
 # cascade end to end. The slo-smoke gate covers the burn-rate engine and
 # flight recorder end to end, and the race list includes both (the engine
 # ticks on a background goroutine while request threads feed its sources;
-# the flight ring is written lock-free from every worker).
-verify-parallel: vet snap-verify wire-alloc-gate dedup-smoke route-smoke slo-smoke
-	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/record/... ./internal/textsim/... ./internal/lm/... ./internal/eval/... ./internal/core/... ./internal/serve/... ./internal/snap/... ./internal/blocking/... ./internal/dedup/... ./internal/stream/... ./internal/backend/... ./internal/route/... ./internal/slo/... ./internal/flight/...
+# the flight ring is written lock-free from every worker). The
+# fleet-smoke gate covers the sharded serving fleet end to end, and the
+# race list includes internal/fleet (the front fans sub-batches out
+# across goroutines against shared ring, breaker and canary state).
+verify-parallel: vet snap-verify wire-alloc-gate dedup-smoke route-smoke slo-smoke fleet-smoke
+	$(GO) test -race ./internal/obs/... ./internal/par/... ./internal/record/... ./internal/textsim/... ./internal/lm/... ./internal/eval/... ./internal/core/... ./internal/serve/... ./internal/snap/... ./internal/blocking/... ./internal/dedup/... ./internal/stream/... ./internal/backend/... ./internal/route/... ./internal/slo/... ./internal/flight/... ./internal/fleet/...
 
 # Allocation gate for the zero-copy serving hot path. Runs without -race
 # (the race detector defeats sync.Pool, making allocs/op meaningless):

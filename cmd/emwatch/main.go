@@ -10,10 +10,18 @@
 //
 //	emwatch [-url http://localhost:8080] [-interval 1s] [-n 0]
 //	        [-plain] [-once] [-exit-on-breach=true]
+//	emwatch -addr http://host:8081 -addr http://host:8082 ...
+//	emwatch -fleet http://host:8080
 //
 // -n bounds the number of polls (0 = until interrupted or breached);
 // -plain appends frames instead of redrawing, for logs and pipes; -once
 // is shorthand for -plain -n 1.
+//
+// Fleet modes: -addr (repeatable) watches several replicas side by
+// side, one row each plus a synthesized aggregate line; -fleet watches
+// a front router (cmd/emfleet), whose /stats already embeds every
+// replica's scrape plus breaker/hedge/canary state. In both modes the
+// exit code is 3 when ANY replica is in BREACH.
 package main
 
 import (
@@ -31,7 +39,10 @@ import (
 
 func main() {
 	var cfg watchConfig
+	var addrs stringList
 	flag.StringVar(&cfg.URL, "url", "http://localhost:8080", "base URL of the emserve instance")
+	flag.Var(&addrs, "addr", "replica base URL (repeatable); watch several replicas side by side")
+	fleetURL := flag.String("fleet", "", "front-router base URL; watch the whole fleet through its /stats")
 	flag.DurationVar(&cfg.Interval, "interval", time.Second, "poll interval")
 	flag.IntVar(&cfg.Count, "n", 0, "number of polls (0 = until interrupted or breached)")
 	flag.BoolVar(&cfg.Plain, "plain", false, "append frames instead of redrawing the screen")
@@ -40,6 +51,29 @@ func main() {
 	flag.Parse()
 	if *once {
 		cfg.Plain, cfg.Count = true, 1
+	}
+	if *fleetURL != "" && len(addrs) > 0 {
+		fmt.Fprintln(os.Stderr, "emwatch: -fleet and -addr are mutually exclusive")
+		os.Exit(2)
+	}
+	if *fleetURL != "" || len(addrs) > 0 {
+		breached, err := watchMulti(multiConfig{
+			Addrs:        addrs,
+			FleetURL:     *fleetURL,
+			Interval:     cfg.Interval,
+			Count:        cfg.Count,
+			Plain:        cfg.Plain,
+			ExitOnBreach: cfg.ExitOnBreach,
+		}, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emwatch:", err)
+			os.Exit(1)
+		}
+		if cfg.ExitOnBreach && breached {
+			fmt.Fprintln(os.Stderr, "emwatch: SLO BREACH")
+			os.Exit(3)
+		}
+		return
 	}
 	worst, err := watch(cfg, os.Stdout)
 	if err != nil {

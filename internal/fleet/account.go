@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/record"
+	"repro/internal/serve"
+)
+
+// Deterministic throughput accounting. The fleet's speedup claim is
+// validated on a virtual clock, not a wall clock: on the all-cache-hit
+// path a replica's service time is linear in the pairs it answers, so
+// with a per-pair virtual cost the single-replica makespan is
+// pairs×cost while the fleet's is the most-loaded replica's share —
+// replicas work their arcs concurrently. Speedup = pairs / max-load is
+// then a pure function of ring placement: exactly reproducible across
+// runs, machines and GOMAXPROCS, which a wall-clock benchmark on a
+// single-core CI box never is.
+
+// Accounting is the virtual-clock throughput model for one workload.
+type Accounting struct {
+	Pairs int `json:"pairs"`
+	// PerReplica is how many pairs each ring member owns under the
+	// current (health-aware) assignment.
+	PerReplica map[string]int `json:"per_replica"`
+	// MaxLoad is the most-loaded replica's pair count — the fleet's
+	// virtual makespan in per-pair units.
+	MaxLoad int `json:"max_load"`
+	// SingleUS and FleetUS are the virtual service times for one replica
+	// handling everything vs the fleet working arcs concurrently.
+	SingleUS int64 `json:"single_us"`
+	FleetUS  int64 `json:"fleet_us"`
+	// Speedup = SingleUS / FleetUS = Pairs / MaxLoad.
+	Speedup float64 `json:"speedup"`
+}
+
+// Account assigns every pair through the front's live chooser (so
+// ejections and shed penalties are reflected) and models the fleet's
+// virtual throughput at perPair cost per pair. perPair<=0 defaults to
+// 1ms — the constant cancels in Speedup, it only scales the *US fields.
+func (f *Front) Account(pairs []record.Pair, perPair time.Duration) Accounting {
+	if perPair <= 0 {
+		perPair = time.Millisecond
+	}
+	ring := f.ring.Load()
+	acc := Accounting{Pairs: len(pairs), PerReplica: make(map[string]int, ring.Len())}
+	for _, m := range ring.Members() {
+		acc.PerReplica[m] = 0
+	}
+	f.mu.RLock()
+	var keyBuf []byte
+	succ := make([]string, 0, ring.Len())
+	for _, p := range pairs {
+		keyBuf = serve.AppendPairKey(keyBuf[:0], p, f.opts)
+		rep, _ := f.choose(KeyHash(keyBuf), ring, succ)
+		if rep != nil {
+			acc.PerReplica[rep.name]++
+		}
+	}
+	f.mu.RUnlock()
+	for _, n := range acc.PerReplica {
+		if n > acc.MaxLoad {
+			acc.MaxLoad = n
+		}
+	}
+	acc.SingleUS = int64(len(pairs)) * perPair.Microseconds()
+	acc.FleetUS = int64(acc.MaxLoad) * perPair.Microseconds()
+	if acc.FleetUS > 0 {
+		acc.Speedup = float64(acc.SingleUS) / float64(acc.FleetUS)
+	}
+	return acc
+}
+
+// RingAccounting models placement for a bare ring (no health state):
+// the deterministic-rebalance tests and the emfleet report both use it.
+func RingAccounting(ring *Ring, keyHashes []uint64, perPair time.Duration) Accounting {
+	if perPair <= 0 {
+		perPair = time.Millisecond
+	}
+	acc := Accounting{Pairs: len(keyHashes), PerReplica: ring.LoadCounts(keyHashes)}
+	for _, n := range acc.PerReplica {
+		if n > acc.MaxLoad {
+			acc.MaxLoad = n
+		}
+	}
+	acc.SingleUS = int64(len(keyHashes)) * perPair.Microseconds()
+	acc.FleetUS = int64(acc.MaxLoad) * perPair.Microseconds()
+	if acc.FleetUS > 0 {
+		acc.Speedup = float64(acc.SingleUS) / float64(acc.FleetUS)
+	}
+	return acc
+}
+
+// Moved counts how many keys change owner between two rings — the
+// bounded-movement guarantee consistent hashing exists for. Exposed for
+// the rebalance tests and the emfleet -smoke report.
+func Moved(a, b *Ring, keyHashes []uint64) int {
+	moved := 0
+	for _, kh := range keyHashes {
+		if a.Owner(kh) != b.Owner(kh) {
+			moved++
+		}
+	}
+	return moved
+}
+
+// MembersOf is a convenience for reports: the sorted member list of a
+// per-replica count map.
+func MembersOf(counts map[string]int) []string {
+	out := make([]string, 0, len(counts))
+	for m := range counts {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}

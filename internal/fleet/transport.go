@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+// HTTPTransport reaches replicas over HTTP with one pooled client:
+// connections to every replica stay warm (the fleet re-sends to the
+// same handful of hosts forever), and the per-request timeout is the
+// front's last-ditch bound — hedging and failover normally act first.
+type HTTPTransport struct {
+	client *http.Client
+}
+
+// NewHTTPTransport returns a transport with the given per-request
+// timeout (<=0 means 10s).
+func NewHTTPTransport(timeout time.Duration) *HTTPTransport {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &HTTPTransport{client: &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        128,
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}}
+}
+
+// Client exposes the underlying pooled client (emfleet's stats loop and
+// the watcher reuse it).
+func (t *HTTPTransport) Client() *http.Client { return t.client }
+
+// Match implements Transport.
+func (t *HTTPTransport) Match(ctx context.Context, url string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/match", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, wire.MaxPayload+16))
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, payload, nil
+}
+
+// Healthz implements Transport.
+func (t *HTTPTransport) Healthz(_ context.Context, url string) error {
+	return serve.FetchHealthz(t.client, url)
+}
+
+// Stats implements Transport.
+func (t *HTTPTransport) Stats(_ context.Context, url string) (serve.Stats, error) {
+	return serve.FetchStats(t.client, url)
+}

@@ -171,6 +171,25 @@ func (b *Breaker) NoteFailure() {
 	}
 }
 
+// NoteSuccess feeds an out-of-band success signal — e.g. the fleet
+// router completing a request against a replica outside the probe path.
+// Like NoteFailure it only acts while Closed (resetting the consecutive
+// failure count); half-open recovery stays owned by the Allow/Record
+// probe so a lucky request racing the probe cannot close the breaker.
+func (b *Breaker) NoteSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Closed {
+		b.fails = 0
+	}
+}
+
+// OnTransition registers cb to observe every state change. The callback
+// runs with the breaker's lock held — it must not call back into the
+// breaker. Call before the breaker is shared; it is not synchronised
+// against in-flight Allow/Record.
+func (b *Breaker) OnTransition(cb func(from, to State)) { b.onTransition = cb }
+
 func (b *Breaker) noteFailureLocked() {
 	b.fails++
 	if b.fails >= b.cfg.FailureThreshold {

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client-side plumbing for the service's observability surface: the
+// fleet router scrapes every replica's /stats and /slo to build its
+// aggregate view, and emwatch renders the same snapshots as dashboard
+// rows. Both go through these helpers so schema-version checking lives
+// in exactly one place.
+
+// ErrStatsSchema reports a /stats body whose schema_version this client
+// does not understand.
+type ErrStatsSchema struct {
+	Got int
+}
+
+func (e *ErrStatsSchema) Error() string {
+	return fmt.Sprintf("serve: /stats schema version %d, this client understands <= %d",
+		e.Got, StatsSchemaVersion)
+}
+
+// FetchStats GETs base+"/stats" and decodes the snapshot. A schema
+// version newer than this client understands is an error (fields may
+// have changed meaning); zero is tolerated as a pre-versioning server.
+func FetchStats(client *http.Client, base string) (Stats, error) {
+	var st Stats
+	if err := getJSON(client, base+"/stats", &st); err != nil {
+		return st, err
+	}
+	if st.SchemaVersion > StatsSchemaVersion {
+		return st, &ErrStatsSchema{Got: st.SchemaVersion}
+	}
+	return st, nil
+}
+
+// FetchSLO GETs base+"/slo". A 404 means the service has no objectives
+// configured and returns (nil, nil) — not an error, watchers render it
+// as "none configured".
+func FetchSLO(client *http.Client, base string) (*SLOResponse, error) {
+	resp, err := client.Get(base + "/slo")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var sr SLOResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			return nil, err
+		}
+		return &sr, nil
+	case http.StatusNotFound:
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("%s/slo: status %d", base, resp.StatusCode)
+	}
+}
+
+// FetchHealthz GETs base+"/healthz" and reports whether the service
+// answered 200 — the probe the fleet router's breaker-ejection loop
+// runs against every replica.
+func FetchHealthz(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s/healthz: status %d", base, resp.StatusCode)
+	}
+	return nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -84,7 +84,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
-	pairs, err := req.toPairs()
+	pairs, err := req.ToPairs()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -104,7 +104,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, err := s.Submit(ctx, pairs)
 	if err != nil {
-		writeError(w, statusFor(err), err.Error())
+		writeError(w, StatusFor(err), err.Error())
 		return
 	}
 	rspan := s.cfg.Tracer.Root("respond")
@@ -157,8 +157,10 @@ var bodyBufPool = sync.Pool{New: func() any {
 	return &b
 }}
 
-// toPairs validates the request and converts it to record pairs.
-func (r *MatchRequest) toPairs() ([]record.Pair, error) {
+// ToPairs validates the request and converts it to record pairs. Exported
+// for front-router reuse: the fleet's JSON /match handler accepts the
+// same request shape and must apply the same validation.
+func (r *MatchRequest) ToPairs() ([]record.Pair, error) {
 	single := len(r.Left) > 0 || len(r.Right) > 0
 	if single && len(r.Pairs) > 0 {
 		return nil, errors.New("set either left/right or pairs, not both")
@@ -208,11 +210,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
-// statusFor maps pipeline errors onto HTTP status codes: a full queue is
+// StatusFor maps pipeline errors onto HTTP status codes: a full queue is
 // retryable back-pressure (429), draining and expired deadlines are
 // service-side unavailability (503), oversized requests are the client's
-// fault (413).
-func statusFor(err error) int {
+// fault (413). Exported so the fleet front router maps its own Submit
+// errors onto the exact same statuses a single replica would return.
+func StatusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrTooLarge):
 		return http.StatusRequestEntityTooLarge

@@ -61,11 +61,25 @@ func (m *metrics) observeBatch(n int) { m.batchSizes.Observe(int64(n)) }
 
 func (m *metrics) observeLatency(d time.Duration) { m.latency.ObserveDuration(d) }
 
+// StatsSchemaVersion is the version of the machine-readable /stats
+// schema. Consumers (emwatch, the fleet router) check it instead of
+// guessing field semantics by reflection: bump it whenever a field's
+// meaning, unit or presence rule changes, and extend FetchStats'
+// tolerance accordingly. Version 1 is the first explicitly versioned
+// schema; a missing/zero field marks a pre-versioning server.
+const StatsSchemaVersion = 1
+
 // Stats is the /stats snapshot.
+//
+// Presence rules: numeric fields whose zero is meaningful (counters,
+// quantiles) are always emitted — omitempty on them would make "zero"
+// and "absent" indistinguishable to fleet-level aggregators. Only true
+// presence markers (SLOState, PricingModel, Routed) use omitempty.
 type Stats struct {
-	Matcher   string  `json:"matcher"`
-	Semantics string  `json:"semantics"`
-	UptimeSec float64 `json:"uptime_sec"`
+	SchemaVersion int     `json:"schema_version"`
+	Matcher       string  `json:"matcher"`
+	Semantics     string  `json:"semantics"`
+	UptimeSec     float64 `json:"uptime_sec"`
 
 	Requests         int64 `json:"requests"`
 	RequestsOK       int64 `json:"requests_ok"`
@@ -76,9 +90,11 @@ type Stats struct {
 
 	// SLOState is the worst objective state ("ok"/"warn"/"breach");
 	// empty when no SLOs are configured. SLOBreaches counts objectives
-	// that entered BREACH since startup.
+	// that entered BREACH since startup — never omitempty: a configured
+	// engine with zero breaches must serialize the zero, or a consumer
+	// cannot tell "healthy" from "field dropped".
 	SLOState    string `json:"slo_state,omitempty"`
-	SLOBreaches int64  `json:"slo_breaches,omitempty"`
+	SLOBreaches int64  `json:"slo_breaches"`
 
 	PairsScored  int64 `json:"pairs_scored"`
 	PairsCached  int64 `json:"pairs_cached"`
@@ -126,6 +142,7 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	m := &s.metrics
 	st := Stats{
+		SchemaVersion:    StatsSchemaVersion,
 		Matcher:          s.matcher.Name(),
 		Semantics:        s.semantics.String(),
 		UptimeSec:        time.Since(s.started).Seconds(),

@@ -131,8 +131,8 @@ func TestShedErrorsTyped(t *testing.T) {
 		backend.ErrUnavailable: http.StatusServiceUnavailable,
 		backend.ErrDeadline:    http.StatusServiceUnavailable,
 	} {
-		if got := statusFor(err); got != want {
-			t.Errorf("statusFor(%v) = %d, want %d", err, got, want)
+		if got := StatusFor(err); got != want {
+			t.Errorf("StatusFor(%v) = %d, want %d", err, got, want)
 		}
 	}
 }

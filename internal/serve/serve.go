@@ -465,10 +465,28 @@ func (s *Server) pairKey(p record.Pair) string {
 // string concatenation. The cache probe loops use it with a pooled buffer
 // so key construction is allocation-free.
 func (s *Server) appendPairKey(dst []byte, p record.Pair) []byte {
-	dst = append(dst, record.SerializeRecord(p.Left, s.opts)...)
+	return AppendPairKey(dst, p, s.opts)
+}
+
+// AppendPairKey appends p's canonical serving cache key to dst: both
+// records serialized under opts, joined with the unprintable key
+// separator — byte-identical to the server's own cache keys and to
+// appendWireKey on the binary path. The fleet router partitions its
+// consistent-hash keyspace on exactly these bytes, so a pair owns the
+// same ring position no matter which protocol or process computed it.
+func AppendPairKey(dst []byte, p record.Pair, opts record.SerializeOptions) []byte {
+	dst = append(dst, record.SerializeRecord(p.Left, opts)...)
 	dst = append(dst, keySep)
-	dst = append(dst, record.SerializeRecord(p.Right, s.opts)...)
+	dst = append(dst, record.SerializeRecord(p.Right, opts)...)
 	return dst
+}
+
+// CanonicalKeyOptions returns the serialization options serving keys are
+// built under (schema order, default separator) memoised through cache;
+// nil means uncached. External key builders (the fleet router) must use
+// this so their keys stay byte-identical to the replicas' cache keys.
+func CanonicalKeyOptions(cache *record.SerializeCache) record.SerializeOptions {
+	return record.SerializeOptions{Separator: record.DefaultSeparator, Cache: cache}
 }
 
 // cacheable reports whether served decisions flow through the prediction

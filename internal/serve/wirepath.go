@@ -150,7 +150,7 @@ func (s *Server) ServeWire(ctx context.Context, body, dst []byte) (int, []byte) 
 	}
 	out, err := s.submitMisses(ctx, start, span, res, misses, keys, slots, kh)
 	if err != nil {
-		return s.wireError(dst, &sc.enc, statusFor(err), err.Error())
+		return s.wireError(dst, &sc.enc, StatusFor(err), err.Error())
 	}
 	e := &sc.enc
 	e.Reset()

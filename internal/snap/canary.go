@@ -1,0 +1,39 @@
+package snap
+
+import "fmt"
+
+// Canary snapshot selection for rolling matcher upgrades: the fleet
+// router brings up a canary replica on a *different* snapshot of the
+// same matcher, mirrors live traffic to it, and only cuts over after a
+// bit-identity check. PickCanary is the store-side half of that flow —
+// deciding which artifact the canary boots from.
+
+// PickCanary returns the artifact a canary replica of matcher should be
+// restored from: the newest stored snapshot of that matcher whose hash
+// differs from incumbentHash (pass "" to simply pick the newest). Ties
+// on creation time break to the lexicographically greatest hash, so the
+// choice is deterministic for a fixed store. Corrupt artifacts (MetaErr)
+// are skipped — a canary must never boot from a snapshot that cannot be
+// verified. Returns ErrNotFound when no eligible artifact exists.
+func (s *Store) PickCanary(matcher, incumbentHash string) (ArtifactInfo, error) {
+	arts, err := s.List()
+	if err != nil {
+		return ArtifactInfo{}, err
+	}
+	var best *ArtifactInfo
+	for i := range arts {
+		a := &arts[i]
+		if a.MetaErr != nil || a.Meta.Matcher != matcher || a.Hash == incumbentHash {
+			continue
+		}
+		if best == nil ||
+			a.Meta.CreatedUnix > best.Meta.CreatedUnix ||
+			(a.Meta.CreatedUnix == best.Meta.CreatedUnix && a.Hash > best.Hash) {
+			best = a
+		}
+	}
+	if best == nil {
+		return ArtifactInfo{}, fmt.Errorf("%w: no canary candidate for %s", ErrNotFound, matcher)
+	}
+	return *best, nil
+}

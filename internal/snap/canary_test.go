@@ -1,0 +1,67 @@
+package snap
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestPickCanary(t *testing.T) {
+	st, err := Open(t.TempDir(), obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty store: nothing to canary from.
+	if _, err := st.PickCanary("Fake", ""); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty store err = %v, want ErrNotFound", err)
+	}
+
+	h1, err := st.Save(testKey(1), "Fake", &fakeState{Tag: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := st.Save(testKey(2), "Fake", &fakeState{Tag: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(testKey(3), "Other", &fakeState{Tag: "c"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Excluding the incumbent leaves exactly one eligible artifact.
+	got, err := st.PickCanary("Fake", h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash != h1 {
+		t.Fatalf("PickCanary excluding %s returned %s, want %s", h2, got.Hash, h1)
+	}
+
+	// Deterministic for a fixed store: two calls agree, and the result
+	// is one of the matcher's artifacts.
+	a, err := st.PickCanary("Fake", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.PickCanary("Fake", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash != b.Hash {
+		t.Fatalf("PickCanary not deterministic: %s then %s", a.Hash, b.Hash)
+	}
+	if a.Hash != h1 && a.Hash != h2 {
+		t.Fatalf("PickCanary returned foreign artifact %s", a.Hash)
+	}
+	if a.Meta.Matcher != "Fake" {
+		t.Fatalf("PickCanary crossed matchers: %+v", a.Meta)
+	}
+
+	// A matcher whose only artifact is the incumbent has no candidate.
+	otherHash := testKey(3).Hash()
+	if _, err := st.PickCanary("Other", otherHash); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound when only the incumbent exists", err)
+	}
+}

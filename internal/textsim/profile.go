@@ -289,6 +289,19 @@ func JaccardIDs(a, b []uint32) float64 {
 // MinHash signatures) are reproducible across runs and worker counts.
 func TokenHash(tok string) uint64 { return fnv64a(tok) }
 
+// TokenHashBytes is TokenHash over a byte slice: the identical FNV-1a
+// fold, so hashing a []byte view of a key equals hashing the string copy.
+// The fleet router keys its consistent-hash ring on it, straight off the
+// pooled cache-key scratch — no string materialisation on the hot path.
+func TokenHashBytes(tok []byte) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(tok); i++ {
+		h ^= uint64(tok[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 // JaccardHashes is the merge-join Jaccard kernel over two ascending
 // unique fingerprint slices (see TokenHash) — the same verification
 // primitive as JaccardIDs on the scheduling-independent key space.
