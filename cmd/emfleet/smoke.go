@@ -212,6 +212,7 @@ func runSmoke(cfg fleetConfig) error {
 	if _, _, err := runRound(client, frontURL, pairs); err != nil {
 		return fmt.Errorf("phase 6 mirror round: %w", err)
 	}
+	front.WaitMirrors() // mirrors are async; settle before reading the report
 	rep := front.Canary()
 	if rep == nil {
 		return fmt.Errorf("phase 6: canary vanished during the mirror round")

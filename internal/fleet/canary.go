@@ -19,7 +19,10 @@ import (
 //     has a deterministic per-key sample mirrored to the canary, and
 //     the canary's predictions are compared bit-for-bit against the
 //     incumbent's. Mirroring is observe-only: canary answers never
-//     reach clients, and mirror failures never fail live requests.
+//     reach clients, mirror failures never fail live requests, and the
+//     mirror sub-request runs asynchronously under its own
+//     MirrorTimeout — a slow or hung canary never adds latency to live
+//     traffic.
 //  3. PromoteCanary(): allowed only once the mirrored sample is big
 //     enough and every compared prediction matched. Cutover swaps the
 //     ring member's URL in place — the ring identity (and therefore the
@@ -164,8 +167,12 @@ func MirrorSampled(keyHash uint64, permille int) bool {
 // success path of sendGroup; from is the replica that actually answered
 // — mirroring only happens when that is the shadowed incumbent, because
 // the comparison is defined against the incumbent's predictions.
-// Observe-only: every failure is counted, none propagates.
-func (f *Front) mirror(ctx context.Context, g *group, from *Replica, preds []bool, deadlineMs int) {
+// Observe-only: the sample is selected synchronously (so which keys
+// mirror stays deterministic), but the canary sub-request runs in its
+// own goroutine on a detached context bounded by MirrorTimeout — the
+// live request returns without waiting on the canary, and every mirror
+// failure is counted, none propagates.
+func (f *Front) mirror(g *group, from *Replica, preds []bool, deadlineMs int) {
 	c := f.canary.Load()
 	if c == nil || from.name != c.target {
 		return
@@ -182,6 +189,18 @@ func (f *Front) mirror(ctx context.Context, g *group, from *Replica, preds []boo
 		return
 	}
 	body := wire.AppendRequest(nil, sample, deadlineMs)
+	f.mirrors.Add(1)
+	go func() {
+		defer f.mirrors.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), f.cfg.MirrorTimeout)
+		defer cancel()
+		f.compareMirror(ctx, c, body, want)
+	}()
+}
+
+// compareMirror posts one mirror body to the canary and tallies the
+// bit-identity comparison against the incumbent's predictions.
+func (f *Front) compareMirror(ctx context.Context, c *canary, body []byte, want []bool) {
 	status, resp, err := f.transport.Match(ctx, c.url, body)
 	if err != nil || status != http.StatusOK {
 		c.errors.Add(1)
@@ -207,3 +226,9 @@ func (f *Front) mirror(ctx context.Context, g *group, from *Replica, preds []boo
 	c.mirrored.Add(int64(len(want)))
 	f.metrics.mirrored.Add(int64(len(want)))
 }
+
+// WaitMirrors blocks until every in-flight canary mirror has completed
+// and tallied (each is bounded by MirrorTimeout). Tests and the smoke
+// harness call it before reading the canary report; operators just poll
+// the report until Ready.
+func (f *Front) WaitMirrors() { f.mirrors.Wait() }

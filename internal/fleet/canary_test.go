@@ -84,6 +84,7 @@ func TestCanaryBitIdenticalPromotes(t *testing.T) {
 	if _, err := f.Submit(context.Background(), pairs, 0); err != nil {
 		t.Fatal(err)
 	}
+	f.WaitMirrors()
 	rep := f.Canary()
 	if rep == nil || rep.Mirrored < 8 {
 		t.Fatalf("canary report = %+v, want >= 8 mirrored", rep)
@@ -130,6 +131,7 @@ func TestCanaryMismatchBlocksPromotion(t *testing.T) {
 	if _, err := f.Submit(context.Background(), pairs, 0); err != nil {
 		t.Fatal(err)
 	}
+	f.WaitMirrors()
 	rep := f.Canary()
 	if rep.Mismatched == 0 {
 		t.Fatalf("diverging canary recorded no mismatches: %+v", rep)
@@ -170,6 +172,7 @@ func TestCanaryMirrorFailuresAreObserveOnly(t *testing.T) {
 	if len(res.Preds) != len(pairs) {
 		t.Fatal("live response truncated by mirror failure")
 	}
+	f.WaitMirrors()
 	rep := f.Canary()
 	if rep.Errors == 0 {
 		t.Fatalf("mirror errors not counted: %+v", rep)

@@ -73,9 +73,12 @@ type Config struct {
 	// MirrorPermille is the deterministic per-pair sample rate mirrored
 	// to an active canary (default 250‰); CanaryMinSample is how many
 	// mirrored pairs must compare bit-identical before the canary is
-	// promotable (default 64).
+	// promotable (default 64). Mirrors run asynchronously off the live
+	// request path, each bounded by MirrorTimeout (default 2s) — a slow
+	// or hung canary never adds latency to live traffic.
 	MirrorPermille  int
 	CanaryMinSample int
+	MirrorTimeout   time.Duration
 
 	// ProbeInterval, when positive, starts a background loop probing
 	// every replica's /healthz (driving breaker recovery) and ticking
@@ -136,6 +139,9 @@ func (c Config) withDefaults() Config {
 	if c.CanaryMinSample <= 0 {
 		c.CanaryMinSample = 64
 	}
+	if c.MirrorTimeout <= 0 {
+		c.MirrorTimeout = 2 * time.Second
+	}
 	return c
 }
 
@@ -179,7 +185,7 @@ const mirrorSalt = 0x1d8e_4e27_c47d_1f29
 type fleetMetrics struct {
 	requests   *obs.Counter // /match requests admitted
 	requestsOK *obs.Counter // requests fully answered
-	errors     *obs.Counter // requests failed after exhausting every replica
+	errors     *obs.Counter // admitted requests failed (unroutable, or every replica exhausted)
 	pairs      *obs.Counter // pairs answered
 	fanouts    *obs.Counter // sub-requests issued (hedges included)
 	hedges     *obs.Counter // hedge sub-requests issued
@@ -213,7 +219,8 @@ type Front struct {
 	metrics fleetMetrics
 	started time.Time
 
-	canary atomic.Pointer[canary]
+	canary  atomic.Pointer[canary]
+	mirrors sync.WaitGroup // in-flight asynchronous canary mirrors
 
 	sloEngine *slo.Engine
 
@@ -248,7 +255,7 @@ func New(cfg Config) (*Front, error) {
 	m := &f.metrics
 	m.requests = f.reg.Counter("emfleet_requests_total", "/match requests admitted by the front router")
 	m.requestsOK = f.reg.Counter("emfleet_requests_ok_total", "requests answered with predictions")
-	m.errors = f.reg.Counter("emfleet_request_errors_total", "requests failed after exhausting every replica")
+	m.errors = f.reg.Counter("emfleet_request_errors_total", "admitted requests failed (unroutable, or every replica exhausted)")
 	m.pairs = f.reg.Counter("emfleet_pairs_total", "pairs answered across the fleet")
 	m.fanouts = f.reg.Counter("emfleet_fanouts_total", "sub-requests issued to replicas, hedges included")
 	m.hedges = f.reg.Counter("emfleet_hedges_total", "hedge sub-requests issued past the straggler threshold")
@@ -423,11 +430,14 @@ func (f *Front) healthyCount() int {
 	return n
 }
 
-// Close stops the probe loop. It does not touch the replicas — the
-// front never owns replica processes, only routes to them.
+// Close stops the probe loop and waits out any in-flight canary
+// mirrors (each bounded by MirrorTimeout). It does not touch the
+// replicas — the front never owns replica processes, only routes to
+// them.
 func (f *Front) Close() {
 	f.stopOnce.Do(func() { close(f.stop) })
 	f.wg.Wait()
+	f.mirrors.Wait()
 }
 
 // probeLoop periodically probes every replica and ticks the SLO engine.
@@ -528,11 +538,12 @@ func (f *Front) Submit(ctx context.Context, pairs []record.Pair, deadlineMs int)
 	if len(pairs) > f.cfg.MaxPairsPerRequest {
 		return nil, serve.ErrTooLarge
 	}
+	f.metrics.requests.Inc()
 	ring := f.ring.Load()
 	if ring.Len() == 0 {
+		f.metrics.errors.Inc()
 		return nil, fmt.Errorf("fleet: no replicas: %w", backend.ErrUnavailable)
 	}
-	f.metrics.requests.Inc()
 	start := time.Now()
 
 	// Assign every pair to a replica. Assignment reads replica health,
@@ -548,6 +559,7 @@ func (f *Front) Submit(ctx context.Context, pairs []record.Pair, deadlineMs int)
 		rep, diverted := f.choose(kh, ring, succ)
 		if rep == nil {
 			f.mu.RUnlock()
+			f.metrics.errors.Inc()
 			return nil, fmt.Errorf("fleet: no route for pair %d: %w", i, backend.ErrUnavailable)
 		}
 		if diverted {
@@ -567,13 +579,21 @@ func (f *Front) Submit(ctx context.Context, pairs []record.Pair, deadlineMs int)
 
 	res := &serve.MatchResult{Preds: make([]bool, len(pairs)), Cached: make([]bool, len(pairs))}
 	var costMicro, tokens atomic.Int64
-	var firstErr atomic.Value
+	// First group error wins. A mutex, not atomic.Value: sub-batches
+	// fail with differently-typed errors (%w wraps vs plain fmt.Errorf),
+	// and atomic.Value panics on inconsistently typed stores.
+	var errMu sync.Mutex
+	var firstErr error
 	var wg sync.WaitGroup
 	for _, g := range groups {
 		g := g
 		run := func() {
 			if err := f.sendGroup(ctx, ring, g, deadlineMs, res, &costMicro, &tokens); err != nil {
-				firstErr.CompareAndSwap(nil, err)
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
 			}
 		}
 		if len(groups) == 1 {
@@ -584,9 +604,9 @@ func (f *Front) Submit(ctx context.Context, pairs []record.Pair, deadlineMs int)
 		}
 	}
 	wg.Wait()
-	if v := firstErr.Load(); v != nil {
+	if firstErr != nil {
 		f.metrics.errors.Inc()
-		return nil, v.(error)
+		return nil, firstErr
 	}
 	res.CostUSD = float64(costMicro.Load()) / 1e6
 	res.Tokens = int(tokens.Load())
@@ -650,7 +670,7 @@ func (f *Front) sendGroup(ctx context.Context, ring *Ring, g *group, deadlineMs 
 		}
 		costMicro.Add(int64(wr.CostUSD * 1e6))
 		tokens.Add(int64(wr.Tokens))
-		f.mirror(ctx, g, from, wr.Preds, deadlineMs)
+		f.mirror(g, from, wr.Preds, deadlineMs)
 		return nil
 	}
 	if lastErr == nil {

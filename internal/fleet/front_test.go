@@ -21,16 +21,17 @@ import (
 // hedge races), and a deterministic prediction function shared by every
 // healthy stub so "bit-identical" means something.
 type stubReplica struct {
-	mu      sync.Mutex
-	calls   int
-	fail    int           // next N Match calls: transport error
-	shed    int           // next N Match calls: 429
-	block   chan struct{} // when non-nil, Match waits here first
-	health  error
-	invert  bool // invert predictions (canary-mismatch scripting)
-	cost    float64
-	stats   serve.Stats
-	statsOK bool
+	mu        sync.Mutex
+	calls     int
+	fail      int           // next N Match calls: transport error
+	shed      int           // next N Match calls: 429
+	badStatus int           // when non-zero, Match answers this HTTP status, no body
+	block     chan struct{} // when non-nil, Match waits here first
+	health    error
+	invert    bool // invert predictions (canary-mismatch scripting)
+	cost      float64
+	stats     serve.Stats
+	statsOK   bool
 }
 
 // stubPred is the deterministic prediction every honest stub computes:
@@ -92,6 +93,11 @@ func (t *stubTransport) Match(ctx context.Context, url string, body []byte) (int
 		r.shed--
 		r.mu.Unlock()
 		return http.StatusTooManyRequests, nil, nil
+	}
+	if r.badStatus != 0 {
+		s := r.badStatus
+		r.mu.Unlock()
+		return s, nil, nil
 	}
 	invert := r.invert
 	cost := r.cost
@@ -338,6 +344,31 @@ func TestFrontAllReplicasDownErrors(t *testing.T) {
 	_, err := f.Submit(context.Background(), mkPairs(4), 0)
 	if err == nil {
 		t.Fatal("Submit succeeded with every replica down")
+	}
+	if f.metrics.errors.Load() == 0 {
+		t.Fatal("request error not counted")
+	}
+}
+
+func TestFrontConcurrentMixedErrorTypes(t *testing.T) {
+	// Two sub-batches failing with differently-typed errors — a
+	// %w-wrapped transport error vs a plain "answered status" error —
+	// must surface one of them, not panic. The old atomic.Value error
+	// slot required every store to share one concrete type and blew up
+	// exactly during a multi-replica outage.
+	f, st, _ := testFront(t, Config{}, "r1", "r2")
+	r1 := st.get("stub://r1")
+	r1.mu.Lock()
+	r1.fail = 1 << 30 // transport errors: %w-wrapped by sendOnce
+	r1.mu.Unlock()
+	r2 := st.get("stub://r2")
+	r2.mu.Lock()
+	r2.badStatus = http.StatusInternalServerError // plain fmt.Errorf
+	r2.mu.Unlock()
+
+	pairs := []record.Pair{pairOwnedBy(t, f, "r1"), pairOwnedBy(t, f, "r2")}
+	if _, err := f.Submit(context.Background(), pairs, 0); err == nil {
+		t.Fatal("Submit succeeded with every replica failing")
 	}
 	if f.metrics.errors.Load() == 0 {
 		t.Fatal("request error not counted")

@@ -59,11 +59,11 @@ func (t *HTTPTransport) Match(ctx context.Context, url string, body []byte) (int
 }
 
 // Healthz implements Transport.
-func (t *HTTPTransport) Healthz(_ context.Context, url string) error {
-	return serve.FetchHealthz(t.client, url)
+func (t *HTTPTransport) Healthz(ctx context.Context, url string) error {
+	return serve.FetchHealthz(ctx, t.client, url)
 }
 
 // Stats implements Transport.
-func (t *HTTPTransport) Stats(_ context.Context, url string) (serve.Stats, error) {
-	return serve.FetchStats(t.client, url)
+func (t *HTTPTransport) Stats(ctx context.Context, url string) (serve.Stats, error) {
+	return serve.FetchStats(ctx, t.client, url)
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -27,9 +28,11 @@ func (e *ErrStatsSchema) Error() string {
 // FetchStats GETs base+"/stats" and decodes the snapshot. A schema
 // version newer than this client understands is an error (fields may
 // have changed meaning); zero is tolerated as a pre-versioning server.
-func FetchStats(client *http.Client, base string) (Stats, error) {
+// ctx cancels the request — the fleet router's probe and stats loops
+// must not block shutdown on an unresponsive replica.
+func FetchStats(ctx context.Context, client *http.Client, base string) (Stats, error) {
 	var st Stats
-	if err := getJSON(client, base+"/stats", &st); err != nil {
+	if err := getJSON(ctx, client, base+"/stats", &st); err != nil {
 		return st, err
 	}
 	if st.SchemaVersion > StatsSchemaVersion {
@@ -41,8 +44,12 @@ func FetchStats(client *http.Client, base string) (Stats, error) {
 // FetchSLO GETs base+"/slo". A 404 means the service has no objectives
 // configured and returns (nil, nil) — not an error, watchers render it
 // as "none configured".
-func FetchSLO(client *http.Client, base string) (*SLOResponse, error) {
-	resp, err := client.Get(base + "/slo")
+func FetchSLO(ctx context.Context, client *http.Client, base string) (*SLOResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/slo", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -64,9 +71,14 @@ func FetchSLO(client *http.Client, base string) (*SLOResponse, error) {
 
 // FetchHealthz GETs base+"/healthz" and reports whether the service
 // answered 200 — the probe the fleet router's breaker-ejection loop
-// runs against every replica.
-func FetchHealthz(client *http.Client, base string) error {
-	resp, err := client.Get(base + "/healthz")
+// runs against every replica. ctx cancels the probe so a hung replica
+// cannot stall the probe loop (or Front.Close) for the client timeout.
+func FetchHealthz(ctx context.Context, client *http.Client, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}
@@ -78,8 +90,12 @@ func FetchHealthz(client *http.Client, base string) error {
 	return nil
 }
 
-func getJSON(client *http.Client, url string, v any) error {
-	resp, err := client.Get(url)
+func getJSON(ctx context.Context, client *http.Client, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}
